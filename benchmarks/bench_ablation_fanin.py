@@ -1,0 +1,87 @@
+"""Ablation — collector-tree fan-in (DESIGN.md design choice).
+
+Section III-A: "For larger dimensional vectors we implement the
+collector states as a reduction tree of '*' states to limit the maximum
+state fan in and improve routability."  This ablation sweeps the
+fan-in bound and quantifies the trade it controls: lower fan-in means
+more collector STEs and a deeper tree (longer query blocks, since the
+sort phase must start after the deepest collector path), while higher
+fan-in pressures the routing matrix.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ap.compiler import APCompiler
+from repro.core.macros import MacroConfig, build_knn_network, collector_tree_depth, macro_ste_cost
+from repro.core.stream import StreamLayout
+
+D = 256  # TagSpace dimensionality: the deepest trees
+
+
+@pytest.mark.parametrize("fan_in", [2, 4, 8, 16])
+def test_fanin_sweep(benchmark, report, fan_in):
+    config = MacroConfig(max_fan_in=fan_in)
+
+    def build():
+        net, handles = build_knn_network(
+            np.zeros((1, D), dtype=np.uint8), config=config
+        )
+        return net, handles[0]
+
+    net, h = benchmark(build)
+    depth = collector_tree_depth(D, fan_in)
+    layout = StreamLayout(D, depth)
+    compile_report = APCompiler().compile(net)
+    report(
+        f"Collector fan-in ablation (d={D}, fan-in={fan_in})",
+        ["Fan-in", "Tree depth", "STEs/macro", "Block length (cycles)",
+         "Max fan-in seen", "Blocks/macro"],
+        [[fan_in, depth, macro_ste_cost(D, fan_in), layout.block_length,
+          net.stats().max_fan_in, f"{compile_report.blocks_used:.2f}"]],
+    )
+    assert h.collector_depth == depth
+    # the bound governs STE activation fan-in (counters aggregate ports)
+    max_ste_fan_in = max(
+        len(net.in_edges(s.name)) for s in net.stes()
+    )
+    assert max_ste_fan_in <= max(fan_in, 2)
+    # monotone trade: smaller fan-in never shortens the block
+    assert layout.block_length >= StreamLayout(D, collector_tree_depth(D, 16)).block_length
+
+
+def test_fanin_functional_invariance(benchmark, report):
+    """Fan-in is purely structural: reports must encode the same
+    distances at every setting (offsets shift by the depth delta)."""
+    from repro.automata.simulator import CompiledSimulator
+    from repro.core.stream import decode_report_offset, encode_query
+
+    rng = np.random.default_rng(71)
+    d = 32
+    data = rng.integers(0, 2, (6, d), dtype=np.uint8)
+    q = rng.integers(0, 2, d, dtype=np.uint8)
+    truth = np.abs(data.astype(int) - q.astype(int)).sum(axis=1)
+
+    def run_all():
+        out = {}
+        for fan_in in (2, 4, 16):
+            config = MacroConfig(max_fan_in=fan_in)
+            net, hs = build_knn_network(data, config=config)
+            lay = StreamLayout(d, hs[0].collector_depth)
+            res = CompiledSimulator(net).run(encode_query(q, lay))
+            out[fan_in] = {
+                r.code: decode_report_offset(r.cycle, lay)[2] for r in res.reports
+            }
+        return out
+
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [[f"fan-in={fi}",
+             all(out[fi][v] == truth[v] for v in range(6))] for fi in out]
+    report(
+        "Fan-in invariance: decoded distances match brute force",
+        ["Setting", "All distances exact"],
+        rows,
+    )
+    for fi, decoded in out.items():
+        for v in range(6):
+            assert decoded[v] == truth[v], (fi, v)

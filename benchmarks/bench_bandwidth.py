@@ -1,0 +1,48 @@
+"""E14 — Section VI-C report-bandwidth budget (Fig. 9 context).
+
+The base design makes every encoded vector report every query:
+``32 (n + d)`` bits per query every ``2d`` cycles.  The paper quotes
+36.2 / 18.1 / 9.0 Gbps for the three workloads against the 63 Gbps PCIe
+Gen 3 x8 budget.  (Our formula reproduces WordEmbed exactly; the
+paper's SIFT/TagSpace rows halve by construction — they drop the ``+d``
+offset term — so both are printed.)
+"""
+
+import pytest
+
+from repro.core.multiplexing import report_bandwidth_gbps
+from repro.workloads.params import WORKLOADS
+
+PAPER_GBPS = {"kNN-WordEmbed": 36.2, "kNN-SIFT": 18.1, "kNN-TagSpace": 9.0}
+PCIE_BUDGET = 63.0
+
+
+def test_report_bandwidth(benchmark, report):
+    def compute():
+        return {
+            w.name: report_bandwidth_gbps(w.board_capacity, w.d)
+            for w in WORKLOADS.values()
+        }
+
+    got = benchmark(compute)
+    rows = []
+    for name, w in WORKLOADS.items():
+        asymptotic = report_bandwidth_gbps(w.board_capacity, w.d) * (
+            w.board_capacity / (w.board_capacity + w.d)
+        )
+        rows.append(
+            [name, f"{got[name]:.1f}", f"{asymptotic:.1f}",
+             f"{PAPER_GBPS[name]:.1f}",
+             f"{100 * got[name] / PCIE_BUDGET:.0f}%"]
+        )
+    report(
+        "Section VI-C: sustained report bandwidth vs 63 Gbps PCIe",
+        ["Workload", "Model Gbps", "Model (n-only)", "Paper Gbps",
+         "% of PCIe budget"],
+        rows,
+    )
+    assert got["kNN-WordEmbed"] == pytest.approx(36.2, abs=0.2)
+    # every workload fits the PCIe budget unmultiplexed...
+    assert all(v < PCIE_BUDGET for v in got.values())
+    # ...and the ordering follows 1/d as the paper's rows do.
+    assert got["kNN-WordEmbed"] > got["kNN-SIFT"] > got["kNN-TagSpace"]

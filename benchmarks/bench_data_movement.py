@@ -1,0 +1,53 @@
+"""Ablation — Section I's data-movement argument, quantified.
+
+"Distance calculations are relatively cheap ... but moving feature
+vector data from memory to the compute device is a huge bottleneck.
+Moreover, this data is used only once per kNN query and discarded, and
+the result of a kNN query is only a handful of identifiers."
+
+The benchmark prints bytes-over-the-interface per query batch for the
+von Neumann platforms vs the AP under three reporting regimes, exposing
+both sides: the near-data win once reporting is sparse, and the
+all-report design's report-traffic explosion that motivates
+Section VI-C.
+"""
+
+import pytest
+
+from benchmarks.conftest import fmt
+from repro.perf.roofline import ap_profile, von_neumann_profile
+from repro.workloads.params import LARGE_N, N_QUERIES, WORKLOADS
+
+
+def profiles():
+    w = WORKLOADS["kNN-SIFT"]
+    batches = 100
+    vn = von_neumann_profile(LARGE_N, w.d, batches * N_QUERIES, w.k,
+                             passes=batches, label="CPU/GPU (per-batch stream)")
+    ap_full = ap_profile(LARGE_N, w.d, batches * N_QUERIES, w.k,
+                         configurations=1, label="AP, all-report kNN")
+    ap_reduced = ap_profile(LARGE_N, w.d, batches * N_QUERIES, w.k,
+                            reports_per_query=LARGE_N / 8, configurations=1,
+                            label="AP + 8x activation reduction")
+    ap_filter = ap_profile(LARGE_N, w.d, batches * N_QUERIES, w.k,
+                           reports_per_query=2 * w.k, configurations=1,
+                           label="AP, range/threshold filter")
+    return [vn, ap_full, ap_reduced, ap_filter]
+
+
+def test_data_movement(benchmark, report):
+    rows_src = benchmark(profiles)
+    rows = [
+        [p.label, fmt(p.bytes_in / 1e9), fmt(p.bytes_out / 1e9),
+         fmt(p.amplification, 4)]
+        for p in rows_src
+    ]
+    report(
+        "Data movement per 100 x 4096-query batches (kNN-SIFT, n=2^20)",
+        ["Configuration", "In (GB)", "Out (GB)", "Bytes per useful byte"],
+        rows,
+    )
+    vn, ap_full, ap_reduced, ap_filter = rows_src
+    assert ap_filter.amplification < vn.amplification / 10
+    assert ap_full.bytes_out > ap_full.bytes_in  # VI-C's problem, visible
+    assert ap_reduced.bytes_out < ap_full.bytes_out

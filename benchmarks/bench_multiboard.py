@@ -1,0 +1,62 @@
+"""Ablation — multi-device scale-out (beyond the paper's single board).
+
+Shards the large-dataset workload across D devices: device time divides
+by D while correctness is preserved by the host-side merge (the same
+merge partial-reconfiguration already requires).  Scaling saturates
+once a shard fits a single board configuration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.multiboard import MultiBoardSearch
+from repro.workloads.generators import uniform_binary
+from tests.conftest import brute_force_knn
+
+
+@pytest.mark.parametrize("n_devices", [1, 2, 4, 8])
+def test_multiboard_scaling(benchmark, report, n_devices):
+    d, cap = 64, 128
+    data = uniform_binary(4096, d, seed=111)
+    queries = uniform_binary(32, d, seed=112)
+    mb = MultiBoardSearch(data, k=4, n_devices=n_devices, board_capacity=cap)
+
+    res = benchmark(mb.search, queries)
+
+    exp_i, _ = brute_force_knn(data, queries, 4)
+    t_model = mb.estimated_runtime_s(4096)
+    report(
+        f"Multi-device scale-out: {n_devices} device(s), n=4096, cap={cap}",
+        ["Devices", "Partitions/device", "Model time (s)", "Exact results"],
+        [[n_devices, max(res.per_device_partitions), f"{t_model:.3f}",
+          bool((res.indices == exp_i).all())]],
+    )
+    assert (res.indices == exp_i).all()
+
+
+def test_scaling_curve(benchmark, report):
+    d, cap = 64, 128
+    data = uniform_binary(8192, d, seed=113)
+
+    def curve():
+        out = {}
+        for nd in (1, 2, 4, 8, 16, 64):
+            mb = MultiBoardSearch(data, k=1, n_devices=nd, board_capacity=cap)
+            out[nd] = mb.estimated_runtime_s(4096)
+        return out
+
+    times = benchmark.pedantic(curve, rounds=1, iterations=1)
+    t1 = times[1]
+    rows = [
+        [nd, f"{t:.3f}", f"{t1 / t:.1f}x", f"{t1 / t / nd:.0%}"]
+        for nd, t in times.items()
+    ]
+    report(
+        "Scale-out curve (Gen 1, n=8192, cap=128 -> 64 partitions total)",
+        ["Devices", "Model time (s)", "Speedup", "Efficiency"],
+        rows,
+    )
+    assert times[2] == pytest.approx(t1 / 2, rel=0.05)
+    # 64 partitions over 64 devices: one *preconfigured* board each, so
+    # reconfiguration vanishes entirely and scaling turns superlinear
+    assert times[64] <= times[1] / 64

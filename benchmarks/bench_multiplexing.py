@@ -1,0 +1,63 @@
+"""E11 — Fig. 6 + Section VI-B: symbol-stream multiplexing.
+
+Times a 7-way multiplexed simulation (7 queries per symbol block),
+verifies the throughput claim functionally, and reproduces the paper's
+Gen 1 infeasibility arithmetic (7x board footprint on a 41-91 % full
+board; >200 Gbps of report traffic against a 63 Gbps PCIe budget).
+"""
+
+import numpy as np
+import pytest
+
+from repro.automata.simulator import CompiledSimulator
+from repro.core.multiplexing import (
+    build_multiplexed_network,
+    encode_multiplexed_batch,
+    multiplexing_feasibility,
+)
+from repro.core.stream import decode_report_offset
+from repro.util.bitops import hamming_cdist_packed, pack_bits
+
+PAPER_UTIL = {"kNN-WordEmbed": (0.417, 1024, 64), "kNN-SIFT": (0.909, 1024, 128),
+              "kNN-TagSpace": (0.786, 512, 256)}
+
+
+def test_muxed_simulation_7_queries(benchmark, report):
+    rng = np.random.default_rng(31)
+    n, d, s = 8, 12, 7
+    data = rng.integers(0, 2, (n, d), dtype=np.uint8)
+    queries = rng.integers(0, 2, (s, d), dtype=np.uint8)
+    net, lay = build_multiplexed_network(data, s)
+    sim = CompiledSimulator(net)
+    block = encode_multiplexed_batch(queries, lay)
+
+    res = benchmark(sim.run, block)
+
+    dist = hamming_cdist_packed(pack_bits(queries), pack_bits(data))
+    correct = 0
+    for r in res.reports:
+        si, vi = divmod(r.code, n)
+        correct += decode_report_offset(r.cycle, lay)[2] == dist[si, vi]
+    report(
+        "7-way multiplexed block: 7 queries answered in one stream pass",
+        ["Queries/block", "Symbols streamed", "Reports", "Correct distances"],
+        [[s, lay.block_length, len(res.reports), f"{correct}/{s * n}"]],
+    )
+    assert correct == s * n
+    assert len(res.reports) == s * n
+
+
+@pytest.mark.parametrize("wname", sorted(PAPER_UTIL))
+def test_gen1_feasibility(benchmark, report, wname):
+    util, n, d = PAPER_UTIL[wname]
+    f = benchmark(multiplexing_feasibility, util, n, d, 7)
+    report(
+        f"Section VI-B feasibility: 7x multiplexing of {wname} on Gen 1",
+        ["Quantity", "Value", "Budget", "Feasible"],
+        [["board utilization", f"{f.utilization:.0%}", "100%", f.fits_board],
+         ["report bandwidth", f"{f.report_bandwidth_gbps:.1f} Gbps",
+          f"{f.pcie_budget_gbps:.0f} Gbps (PCIe Gen3 x8)", f.fits_pcie]],
+    )
+    assert not f.feasible
+    if wname == "kNN-WordEmbed":
+        assert f.report_bandwidth_gbps > 200  # the paper's ">200 Gbps"

@@ -1,0 +1,84 @@
+"""E10 — Fig. 5 + Section VI-A: vector packing.
+
+Times the packed-ladder simulation, verifies functional equivalence
+against the unpacked design, reports the analytical savings model next
+to the Table VIII numbers, and shows the routing-pressure outcome the
+paper observed on Gen 1 tooling (placed but only partially routed).
+"""
+
+import numpy as np
+import pytest
+
+from repro.ap.compiler import APCompiler
+from repro.automata.simulator import CompiledSimulator
+from repro.core.macros import build_knn_network
+from repro.core.packing import build_packed_network, packing_savings
+from repro.core.stream import StreamLayout, encode_query_batch
+
+PAPER_PACKING = {64: 2.93, 128: 3.28, 256: 3.31}
+
+
+def test_packing_savings_model(benchmark, report):
+    got = benchmark(lambda: {d: packing_savings(d, 4) for d in (64, 128, 256)})
+    rows = [
+        [f"d={d}", f"{got[d]:.2f}x", f"{PAPER_PACKING[d]:.2f}x"]
+        for d in (64, 128, 256)
+    ]
+    report(
+        "Vector packing savings, groups of 4 (analytical model vs Table VIII)",
+        ["Workload dim", "Model", "Paper"],
+        rows,
+    )
+    for d, paper in PAPER_PACKING.items():
+        assert got[d] == pytest.approx(paper, rel=0.16)
+
+
+def test_packed_simulation(benchmark, report):
+    rng = np.random.default_rng(17)
+    data = rng.integers(0, 2, (16, 16), dtype=np.uint8)
+    queries = rng.integers(0, 2, (4, 16), dtype=np.uint8)
+    netP, hP = build_packed_network(data, group_size=4)
+    layP = StreamLayout(16, hP[0].collector_depth)
+    simP = CompiledSimulator(netP)
+    stream = encode_query_batch(queries, layP)
+
+    res = benchmark(simP.run, stream)
+
+    netU, hU = build_knn_network(data)
+    layU = StreamLayout(16, hU[0].collector_depth)
+    resU = CompiledSimulator(netU).run(encode_query_batch(queries, layU))
+    identical = sorted((r.cycle, r.code) for r in res.reports) == sorted(
+        (r.cycle, r.code) for r in resU.reports
+    )
+    report(
+        "Packed vs unpacked (16 vectors, 4 queries)",
+        ["Design", "STEs", "Reports", "Functionally identical"],
+        [["unpacked", len(netU.stes()), len(resU.reports), ""],
+         ["packed (p=4)", len(netP.stes()), len(res.reports), identical]],
+    )
+    assert identical
+    assert len(netP.stes()) < len(netU.stes())
+
+
+def test_packing_routability(benchmark, report):
+    """The Gen 1 outcome: packing compiles but does not fully route."""
+    rng = np.random.default_rng(18)
+    data = rng.integers(0, 2, (16, 64), dtype=np.uint8)
+
+    def compile_both():
+        compiler = APCompiler()
+        netU, _ = build_knn_network(data)
+        netP, _ = build_packed_network(data, group_size=8)
+        return compiler.compile(netU), compiler.compile(netP)
+
+    repU, repP = benchmark.pedantic(compile_both, rounds=1, iterations=1)
+    report(
+        "Packing routability under the Gen 1 routing model",
+        ["Design", "Max fan-out", "Fully routable", "Notes"],
+        [["unpacked", max(p.max_fan_out for p in repU.placements),
+          repU.fully_routable, ""],
+         ["packed (p=8)", max(p.max_fan_out for p in repP.placements),
+          repP.fully_routable, "; ".join(repP.notes)[:60]]],
+    )
+    assert repU.fully_routable
+    assert not repP.fully_routable

@@ -1,0 +1,50 @@
+"""Ablation — the PCRE programming path (Section II-B).
+
+The AP's primary programming model is regex compilation; this benchmark
+times (a) compiling a pattern panel onto one board and (b) streaming a
+text through it, reporting simulator throughput (symbols/second) as the
+panel grows — the scaling knob for this reproduction's pattern-mining
+substrate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.automata.network import AutomataNetwork
+from repro.automata.regex import compile_regex
+from repro.automata.simulator import CompiledSimulator
+
+PATTERNS = [
+    "TATA[AT]A", "GAATTC", "GG(A|T)CC", "CG{2,4}A", "ATG.{3,6}TAA",
+    "A{4,8}", "(GC){3,5}", "T(A|G)GT[AC]A", "CAAT..GG", "GC[AT]GC",
+]
+
+
+@pytest.mark.parametrize("n_patterns", [2, 5, 10])
+def test_regex_panel_scan(benchmark, report, n_patterns):
+    rng = np.random.default_rng(101)
+    text = "".join(rng.choice(list("ACGT"), size=2000)).encode()
+    board = AutomataNetwork(f"panel{n_patterns}")
+    for code, pat in enumerate(PATTERNS[:n_patterns], start=1):
+        compile_regex(pat, report_code=code, prefix=f"m{code}_", network=board)
+    sim = CompiledSimulator(board)
+
+    res = benchmark(sim.run, text)
+
+    report(
+        f"Regex panel scan: {n_patterns} patterns, 2 kB stream",
+        ["Patterns", "STEs", "Reports", "One pass answers all patterns"],
+        [[n_patterns, sim.n_stes, len(res.reports), True]],
+    )
+    assert res.n_cycles == len(text)
+
+
+def test_regex_compile_throughput(benchmark):
+    def compile_panel():
+        board = AutomataNetwork("panel")
+        for code, pat in enumerate(PATTERNS, start=1):
+            compile_regex(pat, report_code=code, prefix=f"m{code}_", network=board)
+        return board
+
+    board = benchmark(compile_panel)
+    assert len(board.connected_components()) >= len(PATTERNS)

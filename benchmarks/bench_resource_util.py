@@ -1,0 +1,46 @@
+"""E3 — Section V-A: board resource utilization per workload.
+
+The paper reports apadmin rectangular-block-area utilizations of
+41.7 % / 90.9 % / 78.6 % for kNN-WordEmbed / SIFT / TagSpace (1024,
+1024, 512 vectors per board configuration) and notes capacity is
+~128 Kb of encoded data per configuration.  The benchmark compiles one
+vector macro per workload (placement scales linearly per macro) and
+compares the modelled board utilization against the paper.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ap.compiler import APCompiler
+from repro.ap.device import GEN1
+from repro.core.macros import build_knn_network, macro_ste_cost
+from repro.workloads.params import WORKLOADS
+
+PAPER_UTIL = {"kNN-WordEmbed": 0.417, "kNN-SIFT": 0.909, "kNN-TagSpace": 0.786}
+
+
+def compile_macro(d: int):
+    net, _ = build_knn_network(np.zeros((1, d), dtype=np.uint8))
+    return APCompiler().compile(net)
+
+
+@pytest.mark.parametrize("wname", sorted(WORKLOADS))
+def test_utilization(benchmark, report, wname):
+    w = WORKLOADS[wname]
+    rep = benchmark(compile_macro, w.d)
+    n = w.board_capacity
+    util = rep.blocks_used * n / GEN1.total_blocks
+    rows = [
+        [w.name, n, macro_ste_cost(w.d), f"{util:.1%}",
+         f"{PAPER_UTIL[wname]:.1%}",
+         f"{(util - PAPER_UTIL[wname]) / PAPER_UTIL[wname]:+.1%}"],
+        ["encoded bits/board", n * w.d, "", "", "<= 131072 (128 Kb)", ""],
+    ]
+    report(
+        f"Section V-A utilization: {wname}",
+        ["Workload", "Vectors/board", "STEs/macro", "Model util",
+         "Paper util", "Deviation"],
+        rows,
+    )
+    assert util == pytest.approx(PAPER_UTIL[wname], rel=0.15)
+    assert n * w.d <= 128 * 1024

@@ -1,0 +1,121 @@
+"""E6 — Table V: spatial-indexing speedups on kNN-TagSpace.
+
+The paper compares "ARM + AP" against single-threaded CPU baselines for
+linear search and three indexes, using an analytical model fed by
+benchmarked index traversals: queries are batched per bucket, each
+distinct bucket costs one board reconfiguration, and each visit scans
+one bucket (one board configuration's worth of vectors).
+
+Row 1 (linear) is regenerated at full paper scale (2^20 points) from
+the calibrated models.  The index rows run the *real* index
+implementations on clustered TagSpace-shaped data at a reduced scale
+(2^14 points — Lloyd's at 2^20 x 256 is not a benchmark, it's a
+wait), then apply the identical run-time model; the paper-defining
+*shape* — Gen 1 hovering at break-even (0.6-0.9x) because 45 ms reloads
+eat the pruning gains, Gen 2 winning by 1-2 orders — must reproduce.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import fmt
+from repro.ap.device import GEN1, GEN2
+from repro.index.kdtree import RandomizedKDTrees
+from repro.index.kmeans import HierarchicalKMeans
+from repro.index.lsh import HammingLSH
+from repro.index.search import IndexedAPSearch, indexed_runtime_model
+from repro.perf.models import CORTEX_MODEL, ap_gen1_model, ap_gen2_model
+from repro.workloads.generators import clustered_binary, queries_near_dataset
+from repro.workloads.params import LARGE_N, N_QUERIES, WORKLOADS
+
+PAPER_TABLE5 = {
+    "Linear (No Index)": (16.0, 91.0),
+    "KD-Tree": (0.89, 106.0),
+    "K-Means": (0.88, 120.0),
+    "MPLSH": (0.62, 3.5),
+}
+
+N_SCALED = 2**14
+N_QUERY_SCALED = 1024
+_CACHE: dict = {}
+
+
+def scaled_corpus():
+    if "corpus" not in _CACHE:
+        w = WORKLOADS["kNN-TagSpace"]
+        data, _ = clustered_binary(N_SCALED, w.d, n_clusters=64,
+                                   flip_prob=0.06, seed=21)
+        queries = queries_near_dataset(data, N_QUERY_SCALED, flip_prob=0.04,
+                                       seed=22)
+        _CACHE["corpus"] = (data, queries)
+    return _CACHE["corpus"]
+
+
+def test_table5_linear_full_scale(benchmark, report):
+    w = WORKLOADS["kNN-TagSpace"]
+
+    def speedups():
+        t_arm_1t = CORTEX_MODEL.single_thread_runtime_s(LARGE_N, N_QUERIES, w.d)
+        g1 = ap_gen1_model().runtime_for(w, LARGE_N, N_QUERIES)
+        g2 = ap_gen2_model().runtime_for(w, LARGE_N, N_QUERIES)
+        return t_arm_1t / g1, t_arm_1t / g2
+
+    s1, s2 = benchmark(speedups)
+    report(
+        "Table V row 1: Linear (no index), ARM single-thread baseline",
+        ["Config", "Model", "Paper"],
+        [["ARM + AP Gen 1", f"{s1:.1f}x", "16x"],
+         ["ARM + AP Gen 2", f"{s2:.1f}x", "91x"]],
+    )
+    assert s1 == pytest.approx(16.0, rel=0.15)
+    assert s2 == pytest.approx(91.0, rel=0.05)
+
+
+def _index_speedups(make_index):
+    data, queries = scaled_corpus()
+    w = WORKLOADS["kNN-TagSpace"]
+    index = make_index(data, w.board_capacity)
+    _, _, stats = IndexedAPSearch(index).search(queries, w.k)
+    out = {}
+    for name, device in (("gen1", GEN1), ("gen2", GEN2)):
+        model = indexed_runtime_model(stats, w.d, device, CORTEX_MODEL,
+                                      single_thread_host=True)
+        out[name] = model
+    return out, stats
+
+
+INDEXES = {
+    "KD-Tree": lambda data, cap: RandomizedKDTrees(
+        data, n_trees=4, bucket_size=cap, seed=23
+    ),
+    "K-Means": lambda data, cap: HierarchicalKMeans(
+        data, branching=8, bucket_size=cap, seed=23
+    ),
+    "MPLSH": lambda data, cap: HammingLSH(
+        data, n_tables=4, hash_bits=6, n_probes=8, seed=23
+    ),
+}
+
+
+@pytest.mark.parametrize("iname", sorted(INDEXES))
+def test_table5_indexed(benchmark, report, iname):
+    models, stats = benchmark.pedantic(
+        _index_speedups, args=(INDEXES[iname],), rounds=1, iterations=1
+    )
+    p1, p2 = PAPER_TABLE5[iname]
+    s1, s2 = models["gen1"]["speedup"], models["gen2"]["speedup"]
+    report(
+        f"Table V: {iname} on kNN-TagSpace (scaled n=2^14, q=1024)",
+        ["Config", "Model speedup", "Paper (n=2^20)", "Buckets loaded",
+         "Visits"],
+        [["ARM + AP Gen 1", f"{s1:.2f}x", f"{p1}x",
+          stats.distinct_buckets_loaded, stats.bucket_visits],
+         ["ARM + AP Gen 2", f"{s2:.2f}x", f"{p2}x", "", ""]],
+    )
+    # Shape assertions (scale differs from the paper's 2^20):
+    assert s1 < 2.5, "Gen 1 must hover near break-even (reconfig-bound)"
+    assert s2 > 4 * s1, "Gen 2 must win by the reconfiguration ratio"
+    assert s2 > 1.5
+    if iname == "MPLSH":
+        # Multi-probe visits many buckets per query: the worst AP case.
+        assert stats.bucket_visits > stats.n_queries

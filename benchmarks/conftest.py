@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints a paper-vs-reproduction comparison through :func:`report_table`
+(forced past pytest's capture so `pytest benchmarks/ --benchmark-only`
+shows the rows).
+"""
+
+import sys
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a labelled comparison table, bypassing output capture."""
+
+    def _report(title: str, headers: list[str], rows: list[list]) -> None:
+        with capsys.disabled():
+            widths = [
+                max(len(str(h)), *(len(str(r[i])) for r in rows))
+                for i, h in enumerate(headers)
+            ]
+            line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+            print(f"\n=== {title} ===", file=sys.stderr)
+            print(line, file=sys.stderr)
+            print("-" * len(line), file=sys.stderr)
+            for r in rows:
+                print(
+                    "  ".join(str(c).ljust(w) for c, w in zip(r, widths)),
+                    file=sys.stderr,
+                )
+
+    return _report
+
+
+def fmt(x, digits=3):
+    """Compact numeric formatting for table cells."""
+    if isinstance(x, float):
+        if x == 0:
+            return "0"
+        if abs(x) >= 1000 or abs(x) < 0.001:
+            return f"{x:.{digits}g}"
+        return f"{x:.{digits}g}"
+    return str(x)

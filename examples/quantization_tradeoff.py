@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Code length vs retrieval accuracy vs AP resources.
+
+Section II-A: quantizing real features to Hamming codes loses "some
+information" but well-crafted codes are "a viable alternative" — and on
+the AP, code length directly sets the resource bill (≈ 2d STEs per
+encoded vector) and the query latency (O(d) cycles).  This example
+sweeps ITQ code lengths and prints all three axes of the trade.
+
+Run:  python examples/quantization_tradeoff.py
+"""
+
+from repro.ap.compiler import APCompiler
+from repro.ap.device import GEN1
+from repro.core.macros import build_knn_network, macro_ste_cost
+from repro.index.evaluation import code_length_sweep
+from repro.workloads import gaussian_features
+
+import numpy as np
+
+
+def main() -> None:
+    rng = np.random.default_rng(55)
+    X, _ = gaussian_features(1500, 128, n_clusters=24, cluster_std=0.18, seed=1)
+    picks = rng.integers(0, 1500, size=48)
+    queries = X[picks] + 0.05 * rng.standard_normal((48, 128))
+
+    print("ITQ code length sweep (ground truth: exact Euclidean 10-NN)\n")
+    header = (f"{'bits':>5} {'recall@10':>10} {'recall@1':>9} "
+              f"{'dist ratio':>11} {'STEs/vec':>9} {'vecs/board':>11} "
+              f"{'latency (cyc)':>14}")
+    print(header)
+    print("-" * len(header))
+    for acc in code_length_sweep(X, queries, bit_lengths=(16, 32, 64, 128),
+                                 k=10, seed=2):
+        d = acc.n_bits
+        stes = macro_ste_cost(d)
+        template, _ = build_knn_network(np.zeros((1, d), dtype=np.uint8))
+        capacity = APCompiler().max_instances(template)
+        print(f"{d:>5} {acc.recall_at_k:>10.2f} {acc.recall_at_1:>9.2f} "
+              f"{acc.mean_distance_ratio:>11.3f} {stes:>9} {capacity:>11} "
+              f"{2 * d + 4:>14}")
+
+    print("\nreading the table: longer codes buy accuracy linearly in board")
+    print("area and query latency; 64-128 bits already retrieve the true")
+    print("nearest neighbor almost always (the paper's Table II regime).")
+
+
+if __name__ == "__main__":
+    main()

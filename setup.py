@@ -1,0 +1,7 @@
+"""Legacy setup shim: lets `pip install -e .` work without the `wheel`
+package (this environment is offline; PEP 517 editable builds need
+bdist_wheel).  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

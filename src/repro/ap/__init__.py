@@ -1,0 +1,48 @@
+"""Micron AP device model: hardware hierarchy, compiler, runtime, and the
+Section VII architectural extensions."""
+
+from .chaining import ChainedCounter, ChainError, build_chained_counter, factor_threshold
+from .compiler import APCompiler, CompilationReport, CompileError, RoutingModel
+from .device import GEN1, GEN2, APDeviceSpec, APGeneration
+from .extensions import (
+    CompoundedGains,
+    bits_required,
+    build_comparison_macro,
+    build_counter_increment_macro,
+    compounded_gains,
+    counter_increment_speedup,
+    dimension_packed_stream,
+    ste_decomposition_savings,
+    ste_decomposition_table,
+)
+from .runtime import APRuntime, BoardImage, RuntimeCounters
+from .visualize import summarize, to_dot
+
+__all__ = [
+    "APCompiler",
+    "CompilationReport",
+    "CompileError",
+    "RoutingModel",
+    "ChainedCounter",
+    "ChainError",
+    "build_chained_counter",
+    "factor_threshold",
+    "GEN1",
+    "GEN2",
+    "APDeviceSpec",
+    "APGeneration",
+    "CompoundedGains",
+    "bits_required",
+    "build_comparison_macro",
+    "build_counter_increment_macro",
+    "compounded_gains",
+    "counter_increment_speedup",
+    "dimension_packed_stream",
+    "ste_decomposition_savings",
+    "ste_decomposition_table",
+    "APRuntime",
+    "BoardImage",
+    "RuntimeCounters",
+    "summarize",
+    "to_dot",
+]

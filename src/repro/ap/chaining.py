@@ -1,0 +1,114 @@
+"""Counter chaining: thresholds beyond the register width.
+
+AP counters compare against a static threshold held in a finite
+register (:attr:`~repro.ap.device.APDeviceSpec.counter_bits`).  For
+targets that do not fit, the standard construct cascades two counters:
+a *low* counter in roll mode emits one pulse every ``a`` increments,
+and a *high* counter counts those pulses to ``b`` — the chain crosses
+after exactly ``a x b`` input events.  The cost is one extra counter
+plus one cycle of latency per stage (the high counter samples the low
+counter's pulse on the next cycle).
+
+:func:`factor_threshold` picks a feasible ``(a, b)`` factorization for
+a target and register width; :func:`build_chained_counter` wires the
+construct; :func:`chain_report_delay` gives the extra latency the host
+must account for when decoding temporal offsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..automata.elements import Counter, CounterMode
+from ..automata.network import AutomataNetwork
+
+__all__ = ["ChainError", "factor_threshold", "build_chained_counter",
+           "chain_report_delay", "ChainedCounter"]
+
+
+class ChainError(ValueError):
+    """Raised when a threshold cannot be factorized for chaining."""
+
+
+def factor_threshold(threshold: int, counter_bits: int) -> tuple[int, int]:
+    """Find ``(a, b)`` with ``a * b == threshold`` and both within width.
+
+    Prefers the most balanced factorization (smallest ``max(a, b)``).
+    Raises :class:`ChainError` when none exists (e.g. a prime larger
+    than the register) — such targets need deeper chains or padding of
+    the input event stream, which callers must arrange explicitly.
+    """
+    if threshold < 1:
+        raise ChainError("threshold must be >= 1")
+    cap = (1 << counter_bits) - 1
+    if threshold <= cap:
+        return threshold, 1  # no chaining needed
+    best: tuple[int, int] | None = None
+    a = 2
+    while a * a <= threshold:
+        if threshold % a == 0:
+            b = threshold // a
+            if a <= cap and b <= cap:
+                if best is None or max(a, b) < max(best):
+                    best = (a, b)
+        a += 1
+    if best is None:
+        raise ChainError(
+            f"threshold {threshold} has no factorization fitting "
+            f"{counter_bits}-bit registers (max {cap}); pad the event "
+            "stream or chain three stages"
+        )
+    return best
+
+
+@dataclass
+class ChainedCounter:
+    """Handles of a built chain."""
+
+    low: str  # roll-mode counter, period a
+    high: str  # pulse-mode counter, threshold b
+    a: int
+    b: int
+
+    @property
+    def effective_threshold(self) -> int:
+        return self.a * self.b
+
+    @property
+    def extra_delay_cycles(self) -> int:
+        """Latency added versus a single wide counter."""
+        return 0 if self.b == 1 else 1
+
+
+def chain_report_delay(chain: ChainedCounter) -> int:
+    """Cycles to add when decoding offsets produced through ``chain``."""
+    return chain.extra_delay_cycles
+
+
+def build_chained_counter(
+    network: AutomataNetwork,
+    prefix: str,
+    threshold: int,
+    counter_bits: int = 12,
+) -> ChainedCounter:
+    """Add a (possibly chained) counter crossing at ``threshold`` events.
+
+    The caller wires event sources to the returned ``low`` counter's
+    ``count`` port, reset sources to *both* counters' ``reset`` ports,
+    and downstream logic to the ``high`` counter's output (which equals
+    the ``low`` counter when no chaining was needed).
+    """
+    a, b = factor_threshold(threshold, counter_bits)
+    if b == 1:
+        name = network.add_counter(
+            Counter(f"{prefix}ctr", threshold=a, mode=CounterMode.PULSE)
+        )
+        return ChainedCounter(low=name, high=name, a=a, b=b)
+    low = network.add_counter(
+        Counter(f"{prefix}lo", threshold=a, mode=CounterMode.ROLL)
+    )
+    high = network.add_counter(
+        Counter(f"{prefix}hi", threshold=b, mode=CounterMode.PULSE)
+    )
+    network.connect(low, high, "count")
+    return ChainedCounter(low=low, high=high, a=a, b=b)

@@ -1,0 +1,91 @@
+"""Network visualization: Graphviz DOT export and text summaries.
+
+The AP Workbench renders ANML networks graphically; this is the
+library's equivalent for debugging macros and inspecting compiled
+boards.  ``to_dot`` emits standard DOT (render with ``dot -Tpng``);
+``summarize`` prints a per-component text digest used by examples.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+
+from ..automata import pcre
+from ..automata.elements import STE, BooleanElement, Counter, StartMode
+from ..automata.network import AutomataNetwork
+
+__all__ = ["to_dot", "summarize"]
+
+_PORT_COLOR = {"count": "darkgreen", "reset": "red", "threshold": "purple"}
+
+
+def _dot_escape(s: str) -> str:
+    return s.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_dot(network: AutomataNetwork, max_elements: int = 2000) -> str:
+    """Render the network as a Graphviz DOT digraph.
+
+    STEs are ellipses labelled with their symbol-set expression (start
+    states get a double outline, reporting states are filled); counters
+    are boxes with their threshold; booleans are diamonds.  Counter-port
+    edges are colour-coded.  Refuses comically large networks — render a
+    single macro, not a million-vector board.
+    """
+    if len(network.elements) > max_elements:
+        raise ValueError(
+            f"network has {len(network.elements)} elements; "
+            f"visualization capped at {max_elements}"
+        )
+    lines = [f'digraph "{_dot_escape(network.name)}" {{', "  rankdir=LR;"]
+    for name, el in network.elements.items():
+        nid = _dot_escape(name)
+        if isinstance(el, STE):
+            label = _dot_escape(pcre.render(el.symbols))
+            attrs = [f'label="{nid}\\n{label}"', "shape=ellipse"]
+            if el.start is not StartMode.NONE:
+                attrs.append("peripheries=2")
+            if el.reporting:
+                attrs.append('style=filled fillcolor="lightblue"')
+                attrs[0] = f'label="{nid}\\n{label}\\nreport {el.report_code}"'
+        elif isinstance(el, Counter):
+            thr = el.threshold_source or el.threshold
+            attrs = [f'label="{nid}\\nthr={thr} ({el.mode.value})"', "shape=box"]
+            if el.reporting:
+                attrs.append('style=filled fillcolor="lightblue"')
+        else:
+            assert isinstance(el, BooleanElement)
+            attrs = [f'label="{nid}\\n{el.op.value.upper()}"', "shape=diamond"]
+            if el.reporting:
+                attrs.append('style=filled fillcolor="lightblue"')
+        lines.append(f'  "{nid}" [{" ".join(attrs)}];')
+    for e in network.edges:
+        style = ""
+        if e.port != "in":
+            color = _PORT_COLOR.get(e.port, "black")
+            style = f' [color={color} label="{e.port}"]'
+        lines.append(f'  "{_dot_escape(e.src)}" -> "{_dot_escape(e.dst)}"{style};')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def summarize(network: AutomataNetwork) -> str:
+    """Multi-line text digest: element tallies, components, symbol mix."""
+    stats = network.stats()
+    comps = network.connected_components()
+    symbol_mix = TallyCounter(
+        pcre.render(s.symbols) if s.symbols.cardinality() <= 2 else
+        ("*" if s.symbols.is_wildcard() else f"<{s.symbols.cardinality()}>")
+        for s in network.stes()
+    )
+    top = ", ".join(f"{k}: {v}" for k, v in symbol_mix.most_common(6))
+    lines = [
+        f"network {network.name!r}",
+        f"  STEs={stats.n_stes} counters={stats.n_counters} "
+        f"booleans={stats.n_booleans} edges={stats.n_edges}",
+        f"  start states={stats.n_start} reporting={stats.n_reporting}",
+        f"  max fan-in={stats.max_fan_in} max fan-out={stats.max_fan_out}",
+        f"  NFAs (components)={len(comps)}, largest={max(map(len, comps))}",
+        f"  symbol sets: {top}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,174 @@
+"""ANML import/export for automata networks.
+
+The AP toolchain exchanges NFAs as ANML (Automata Network Markup
+Language), an XML dialect (Section II-B).  We emit a faithful subset:
+``state-transition-element``, ``counter``, and ``boolean`` nodes whose
+``activate-on-match`` children name their downstream elements.  Counter
+ports are addressed with the ``element:port`` convention
+(``ctr:count`` / ``ctr:reset`` / ``ctr:threshold``).
+
+Round-trip guarantee: ``parse_anml(to_anml(net))`` reproduces the same
+elements, symbol sets, attributes and edges.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from . import pcre
+from .elements import STE, BooleanElement, BooleanOp, Counter, CounterMode, StartMode
+from .network import AutomataNetwork
+
+__all__ = ["to_anml", "parse_anml", "AnmlError"]
+
+
+class AnmlError(ValueError):
+    """Raised on malformed ANML documents."""
+
+
+_START_ATTR = {
+    StartMode.NONE: "none",
+    StartMode.START_OF_DATA: "start-of-data",
+    StartMode.ALL_INPUT: "all-input",
+}
+_START_FROM_ATTR = {v: k for k, v in _START_ATTR.items()}
+
+_MODE_ATTR = {
+    CounterMode.PULSE: "pulse",
+    CounterMode.LATCH: "latch",
+    CounterMode.ROLL: "roll",
+}
+_MODE_FROM_ATTR = {v: k for k, v in _MODE_ATTR.items()}
+
+
+def _edge_target(edge_dst: str, port: str) -> str:
+    return edge_dst if port == "in" else f"{edge_dst}:{port}"
+
+
+def to_anml(network: AutomataNetwork) -> str:
+    """Serialize a network to an ANML XML string."""
+    root = ET.Element("automata-network", {"name": network.name, "id": network.name})
+    out_by_src: dict[str, list] = {}
+    for e in network.edges:
+        out_by_src.setdefault(e.src, []).append(e)
+
+    for name, el in network.elements.items():
+        if isinstance(el, STE):
+            node = ET.SubElement(
+                root,
+                "state-transition-element",
+                {
+                    "id": name,
+                    "symbol-set": pcre.render(el.symbols),
+                    "start": _START_ATTR[el.start],
+                },
+            )
+            if el.reporting:
+                node.set("reporting", "true")
+                node.set("report-code", str(el.report_code))
+        elif isinstance(el, Counter):
+            node = ET.SubElement(
+                root,
+                "counter",
+                {
+                    "id": name,
+                    "target": str(el.threshold),
+                    "at-target": _MODE_ATTR[el.mode],
+                },
+            )
+            if el.max_increment != 1:
+                node.set("max-increment", str(el.max_increment))
+            if el.threshold_source is not None:
+                node.set("threshold-source", el.threshold_source)
+            if el.reporting:
+                node.set("reporting", "true")
+                node.set("report-code", str(el.report_code))
+        elif isinstance(el, BooleanElement):
+            node = ET.SubElement(root, "boolean", {"id": name, "gate": el.op.value})
+            if el.reporting:
+                node.set("reporting", "true")
+                node.set("report-code", str(el.report_code))
+        else:  # pragma: no cover - Element union is closed
+            raise AnmlError(f"unknown element type {type(el).__name__}")
+        for e in out_by_src.get(name, []):
+            ET.SubElement(
+                node, "activate-on-match", {"element": _edge_target(e.dst, e.port)}
+            )
+
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode", xml_declaration=False)
+
+
+def _parse_report(node: ET.Element) -> tuple[bool, int | None]:
+    if node.get("reporting", "false") == "true":
+        code = node.get("report-code")
+        if code is None:
+            raise AnmlError(f"reporting element {node.get('id')!r} lacks report-code")
+        return True, int(code)
+    return False, None
+
+
+def parse_anml(text: str) -> AutomataNetwork:
+    """Parse an ANML XML string produced by :func:`to_anml` (or similar)."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise AnmlError(f"malformed XML: {exc}") from exc
+    if root.tag != "automata-network":
+        raise AnmlError(f"expected <automata-network>, got <{root.tag}>")
+    net = AutomataNetwork(root.get("name", root.get("id", "network")))
+
+    pending_edges: list[tuple[str, str, str]] = []
+    for node in root:
+        name = node.get("id")
+        if name is None:
+            raise AnmlError(f"<{node.tag}> element missing id")
+        reporting, code = _parse_report(node)
+        if node.tag == "state-transition-element":
+            symbol_expr = node.get("symbol-set")
+            if symbol_expr is None:
+                raise AnmlError(f"STE {name!r} missing symbol-set")
+            net.add_ste(
+                STE(
+                    name=name,
+                    symbols=pcre.parse(symbol_expr),
+                    start=_START_FROM_ATTR[node.get("start", "none")],
+                    reporting=reporting,
+                    report_code=code,
+                )
+            )
+        elif node.tag == "counter":
+            net.add_counter(
+                Counter(
+                    name=name,
+                    threshold=int(node.get("target", "0")),
+                    mode=_MODE_FROM_ATTR[node.get("at-target", "pulse")],
+                    max_increment=int(node.get("max-increment", "1")),
+                    threshold_source=node.get("threshold-source"),
+                    reporting=reporting,
+                    report_code=code,
+                )
+            )
+        elif node.tag == "boolean":
+            net.add_boolean(
+                BooleanElement(
+                    name=name,
+                    op=BooleanOp(node.get("gate", "or")),
+                    reporting=reporting,
+                    report_code=code,
+                )
+            )
+        else:
+            raise AnmlError(f"unknown ANML element <{node.tag}>")
+        for child in node:
+            if child.tag != "activate-on-match":
+                raise AnmlError(f"unknown child <{child.tag}> of {name!r}")
+            target = child.get("element")
+            if target is None:
+                raise AnmlError(f"activate-on-match under {name!r} missing element")
+            dst, _, port = target.partition(":")
+            pending_edges.append((name, dst, port or "in"))
+
+    for src, dst, port in pending_edges:
+        net.connect(src, dst, port)
+    return net

@@ -1,0 +1,132 @@
+"""Automata network elements: STEs, counters, and boolean gates.
+
+These mirror the three programmable resources of an AP block
+(Section II-B): 256 state transition elements (STEs), 4 counters, and
+12 boolean elements.  Elements carry only *configuration*; runtime
+state lives in the simulator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .symbols import SymbolSet
+
+__all__ = [
+    "StartMode",
+    "CounterMode",
+    "BooleanOp",
+    "STE",
+    "Counter",
+    "BooleanElement",
+    "Element",
+]
+
+
+class StartMode(enum.Enum):
+    """How an STE may self-activate without an upstream activation."""
+
+    NONE = "none"  # requires an active upstream element on the prior cycle
+    START_OF_DATA = "start-of-data"  # enabled only on the first symbol
+    ALL_INPUT = "all-input"  # enabled on every symbol (the paper's start states)
+
+
+class CounterMode(enum.Enum):
+    """Counter output behaviour at threshold (AP counter modes)."""
+
+    PULSE = "pulse"  # one-cycle pulse when the count crosses the threshold
+    LATCH = "latch"  # output held active from the crossing until reset
+    ROLL = "roll"  # pulse and roll the count back to zero
+
+
+class BooleanOp(enum.Enum):
+    """Two-input (or n-input) combinational gates of the AP fabric."""
+
+    AND = "and"
+    OR = "or"
+    NAND = "nand"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+    NOT = "not"
+
+
+@dataclass
+class STE:
+    """State transition element: one NFA state with an 8-bit symbol set.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within the network.
+    symbols:
+        The symbol set this state matches.
+    start:
+        Self-activation mode (see :class:`StartMode`).
+    reporting:
+        Whether an activation generates a report record.
+    report_code:
+        Application-level identifier returned in report records; the kNN
+        engine maps it back to a dataset vector index (Section III-B).
+    """
+
+    name: str
+    symbols: SymbolSet
+    start: StartMode = StartMode.NONE
+    reporting: bool = False
+    report_code: int | None = None
+    annotations: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.reporting and self.report_code is None:
+            raise ValueError(f"reporting STE {self.name!r} needs a report_code")
+
+
+@dataclass
+class Counter:
+    """Saturating threshold counter with count-enable and reset ports.
+
+    AP counters increment by at most one per cycle (the paper's
+    counter-increment extension, Section VII-A, lifts this limit; the
+    simulator honours ``max_increment``), never expose their internal
+    count to the fabric, and compare against a *static* threshold.  The
+    dynamic-threshold extension (Section VII-B) is modelled by
+    ``threshold_source``: when set, the effective threshold each cycle
+    is the live count of the named counter rather than ``threshold``.
+    """
+
+    name: str
+    threshold: int
+    mode: CounterMode = CounterMode.PULSE
+    max_increment: int = 1  # >1 only with the counter-increment extension
+    threshold_source: str | None = None  # dynamic-threshold extension
+    reporting: bool = False
+    report_code: int | None = None
+    annotations: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.threshold < 0:
+            raise ValueError("counter threshold must be non-negative")
+        if self.max_increment < 1:
+            raise ValueError("max_increment must be >= 1")
+        if self.reporting and self.report_code is None:
+            raise ValueError(f"reporting counter {self.name!r} needs a report_code")
+
+
+@dataclass
+class BooleanElement:
+    """Combinational gate evaluated within the current cycle."""
+
+    name: str
+    op: BooleanOp
+    reporting: bool = False
+    report_code: int | None = None
+    annotations: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.reporting and self.report_code is None:
+            raise ValueError(f"reporting boolean {self.name!r} needs a report_code")
+
+
+Element = STE | Counter | BooleanElement

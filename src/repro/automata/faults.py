@@ -1,0 +1,119 @@
+"""Fault injection for automata networks.
+
+Reliability studies for in-memory fabrics need controlled fault models;
+this module provides the three classes that matter for an AP-style
+device and its host link, each as a pure network/stream transform so
+any design can be stressed:
+
+* **stuck STEs** (:func:`inject_stuck_ste`) — a state whose symbol set
+  is forced to never match (``stuck-at-inactive``, e.g. a defective
+  row) or to always match (``stuck-at-active`` — the state still needs
+  an enable, as on hardware);
+* **symbol-stream corruption** (:func:`corrupt_stream`) — bit flips on
+  the PCIe path flipping data symbols;
+* **report loss** (:func:`drop_reports`) — reporting records lost on
+  the congested report path (the failure mode Section VI-C's bandwidth
+  analysis worries about).
+
+The fault-injection test suite quantifies how the kNN design degrades:
+a stuck-inactive match state biases exactly one vector's distance by
+exactly one, stream corruption perturbs all vectors symmetrically, and
+lost reports surface as missing candidates the host merge can detect by
+count (every board-resident vector must report once per query).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from .elements import STE
+from .network import AutomataNetwork
+from .simulator import Report
+from .symbols import SymbolSet
+
+__all__ = ["inject_stuck_ste", "corrupt_stream", "drop_reports",
+           "missing_report_codes"]
+
+
+def _clone_with(network: AutomataNetwork, name: str, **changes) -> AutomataNetwork:
+    if name not in network.elements:
+        raise KeyError(f"unknown element {name!r}")
+    el = network.elements[name]
+    if not isinstance(el, STE):
+        raise ValueError(f"{name!r} is not an STE")
+    out = AutomataNetwork(network.name)
+    for n, e in network.elements.items():
+        out._add(replace(e, annotations=dict(e.annotations))
+                 if n != name else replace(el, **changes,
+                                           annotations=dict(el.annotations)))
+    for e in network.edges:
+        out.connect(e.src, e.dst, e.port)
+    return out
+
+
+def inject_stuck_ste(
+    network: AutomataNetwork, name: str, mode: str = "inactive"
+) -> AutomataNetwork:
+    """Return a copy of ``network`` with STE ``name`` stuck.
+
+    ``mode="inactive"``: the state never matches (empty symbol set).
+    ``mode="active"``: the state matches every symbol (wildcard) — it
+    still requires an upstream enable, as real STEs do.
+    """
+    if mode == "inactive":
+        return _clone_with(network, name, symbols=SymbolSet.empty())
+    if mode == "active":
+        return _clone_with(network, name, symbols=SymbolSet.wildcard())
+    raise ValueError(f"unknown stuck mode {mode!r}")
+
+
+def corrupt_stream(
+    stream: np.ndarray,
+    flip_prob: float,
+    rng: np.random.Generator,
+    data_symbols_only: bool = True,
+) -> np.ndarray:
+    """Flip bit 0 of stream symbols with probability ``flip_prob``.
+
+    With ``data_symbols_only`` (default) control symbols (bit 7 set:
+    SOF/EOF/PAD) are spared, modelling payload corruption that link CRC
+    would catch on framing but not on data in this what-if.
+    """
+    if not 0.0 <= flip_prob <= 1.0:
+        raise ValueError("flip_prob must be in [0, 1]")
+    stream = np.asarray(stream, dtype=np.uint8).copy()
+    hits = rng.random(stream.shape[0]) < flip_prob
+    if data_symbols_only:
+        hits &= stream < 0x80
+    stream[hits] ^= 1
+    return stream
+
+
+def drop_reports(
+    reports: list[Report], drop_prob: float, rng: np.random.Generator
+) -> list[Report]:
+    """Randomly drop report records (congested report path)."""
+    if not 0.0 <= drop_prob <= 1.0:
+        raise ValueError("drop_prob must be in [0, 1]")
+    keep = rng.random(len(reports)) >= drop_prob
+    return [r for r, k in zip(reports, keep) if k]
+
+
+def missing_report_codes(
+    reports: list[Report], expected_codes: range, block_length: int, n_blocks: int
+) -> dict[int, list[int]]:
+    """Host-side loss detection: which codes are missing per query block.
+
+    Exploits the design invariant that every board-resident vector
+    reports exactly once per query block; the host can therefore detect
+    (and re-issue) queries whose report sets are incomplete.
+    """
+    seen: dict[int, set[int]] = {b: set() for b in range(n_blocks)}
+    for r in reports:
+        seen[r.cycle // block_length].add(r.code)
+    expected = set(expected_codes)
+    return {
+        b: sorted(expected - got) for b, got in seen.items() if expected - got
+    }

@@ -1,0 +1,134 @@
+"""Mini-PCRE character classes <-> :class:`SymbolSet`.
+
+AP applications are programmed either as PCREs or as ANML files whose
+STEs carry PCRE *character classes* as their symbol sets (Section II-B).
+This module implements the subset the paper's designs need:
+
+* ``*`` — match-anything (the paper's ``*`` states);
+* single characters and escapes (``\\xNN``, ``\\n``, ``\\t``, ``\\r``,
+  ``\\0``, ``\\\\``, ``\\*``, ``\\[``, ``\\]``);
+* character classes ``[...]`` with ranges and a leading ``^`` negation
+  (the ``^EOF`` sort state is ``[^\\xff]``);
+* ternary bit patterns ``0b*******1`` for symbol-stream multiplexing
+  (Section VI-B) — sugar for the exhaustive extended-ASCII enumeration
+  the paper describes.
+
+``parse`` and ``render`` round-trip: ``parse(render(s)) == s`` for every
+symbol set.
+"""
+
+from __future__ import annotations
+
+from .symbols import SymbolSet
+
+__all__ = ["parse", "render", "PcreError"]
+
+_NAMED_ESCAPES = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "*": 42, "[": 91,
+                  "]": 93, "^": 94, "-": 45, ".": 46}
+_PRINTABLE = set(range(0x21, 0x7F)) - {ord(c) for c in "\\*[]^-."}
+
+
+class PcreError(ValueError):
+    """Raised on malformed character-class expressions."""
+
+
+def _parse_escape(expr: str, i: int) -> tuple[int, int]:
+    """Parse an escape starting at ``expr[i] == '\\'``; return (value, next_i)."""
+    if i + 1 >= len(expr):
+        raise PcreError(f"dangling backslash in {expr!r}")
+    c = expr[i + 1]
+    if c == "x":
+        if i + 3 >= len(expr):
+            raise PcreError(f"truncated \\x escape in {expr!r}")
+        try:
+            return int(expr[i + 2 : i + 4], 16), i + 4
+        except ValueError as exc:
+            raise PcreError(f"bad hex escape in {expr!r}") from exc
+    if c in _NAMED_ESCAPES:
+        return _NAMED_ESCAPES[c], i + 2
+    raise PcreError(f"unknown escape \\{c} in {expr!r}")
+
+
+def parse(expr: str) -> SymbolSet:
+    """Parse a character-class expression into a :class:`SymbolSet`."""
+    if expr == "":
+        raise PcreError("empty symbol-set expression")
+    if expr in ("*", "."):
+        return SymbolSet.wildcard()
+    if expr.startswith("0b"):
+        return SymbolSet.ternary(expr)
+    if expr.startswith("["):
+        if not expr.endswith("]"):
+            raise PcreError(f"unterminated class in {expr!r}")
+        body = expr[1:-1]
+        negate = body.startswith("^")
+        if negate:
+            body = body[1:]
+        values: set[int] = set()
+        i = 0
+        while i < len(body):
+            if body[i] == "\\":
+                lo, i = _parse_escape(body, i)
+            else:
+                lo, i = ord(body[i]), i + 1
+            if i < len(body) and body[i] == "-" and i + 1 < len(body):
+                i += 1
+                if body[i] == "\\":
+                    hi, i = _parse_escape(body, i)
+                else:
+                    hi, i = ord(body[i]), i + 1
+                if hi < lo:
+                    raise PcreError(f"inverted range in {expr!r}")
+                values.update(range(lo, hi + 1))
+            else:
+                values.add(lo)
+        ss = SymbolSet.from_values(sorted(values))
+        return ss.complement() if negate else ss
+    # Single character (possibly escaped).
+    if expr.startswith("\\"):
+        value, nxt = _parse_escape(expr, 0)
+        if nxt != len(expr):
+            raise PcreError(f"trailing characters in {expr!r}")
+        return SymbolSet.single(value)
+    if len(expr) == 1:
+        return SymbolSet.single(ord(expr))
+    raise PcreError(f"cannot parse symbol-set expression {expr!r}")
+
+
+def _render_char(v: int) -> str:
+    if v in _PRINTABLE:
+        return chr(v)
+    return f"\\x{v:02x}"
+
+
+def _render_values(values: list[int]) -> str:
+    """Render sorted symbol values as a class body with ranges."""
+    parts: list[str] = []
+    i = 0
+    while i < len(values):
+        j = i
+        while j + 1 < len(values) and values[j + 1] == values[j] + 1:
+            j += 1
+        if j - i >= 2:
+            parts.append(f"{_render_char(values[i])}-{_render_char(values[j])}")
+        else:
+            parts.extend(_render_char(values[k]) for k in range(i, j + 1))
+        i = j + 1
+    return "".join(parts)
+
+
+def render(symbols: SymbolSet) -> str:
+    """Render a :class:`SymbolSet` as a canonical class expression."""
+    card = symbols.cardinality()
+    if card == 256:
+        return "*"
+    if card == 0:
+        return "[^\\x00-\\xff]"  # complement of everything: the empty set
+    values = symbols.values()
+    if card == 1:
+        v = values[0]
+        return _render_char(v) if v in _PRINTABLE else f"\\x{v:02x}"
+    if card > 128:
+        inv = symbols.complement().values()
+        return f"[^{_render_values(inv)}]"
+    return f"[{_render_values(values)}]"

@@ -1,0 +1,333 @@
+"""PCRE -> homogeneous NFA compiler (the AP's primary programming model).
+
+"Applications can either be compiled to NFAs by supplying a Perl
+Compatible Regular Expression (PCRE), or an ... ANML file"
+(Section II-B).  This module implements that first path for a practical
+PCRE subset:
+
+* literals and escapes (``\\xNN``, ``\\n``, ``\\t``, ``\\r``, ``\\0``);
+* character classes ``[...]`` / ``[^...]`` with ranges, and ``.``;
+* grouping ``( )``, alternation ``|``;
+* quantifiers ``*``, ``+``, ``?``, and bounded repetition ``{m}``,
+  ``{m,n}``, ``{m,}`` (expanded structurally, as AP compilers do when
+  not using counters).
+
+The construction is Glushkov's position automaton: one state per
+symbol-class *occurrence*, transitions from the follow relation.  This
+yields a **homogeneous** automaton — the match condition lives on the
+state, not the edge — which is precisely the AP's STE execution model,
+so the output drops directly onto the fabric with no further lowering.
+
+Matching semantics mirror AP report streams: the compiled network,
+run over a symbol stream, emits a report at every cycle where some
+match of the pattern *ends* (unanchored by default: matches may begin
+anywhere, implemented with ``ALL_INPUT`` start states; ``anchored=True``
+pins the match to the start of the stream via ``START_OF_DATA``).
+Patterns that can match the empty string are rejected — a zero-width
+match has no reporting activation on real hardware either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .elements import STE, StartMode
+from .network import AutomataNetwork
+from .pcre import PcreError, _parse_escape
+from .symbols import SymbolSet
+
+__all__ = ["RegexError", "compile_regex", "parse_regex", "RegexAst"]
+
+_MAX_REPEAT = 256  # guard against pathological {m,n} blow-ups
+
+
+class RegexError(ValueError):
+    """Raised on malformed patterns or unsupported constructs."""
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RegexAst:
+    """Regex syntax tree node.
+
+    ``kind`` is one of ``lit`` (symbols set), ``cat``, ``alt``, ``star``,
+    ``plus``, ``opt``, ``empty`` (epsilon).
+    """
+
+    kind: str
+    symbols: SymbolSet | None = None
+    children: list["RegexAst"] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self.kind == "lit":
+            return f"Lit({self.symbols!r})"
+        return f"{self.kind}({', '.join(map(repr, self.children))})"
+
+
+class _Parser:
+    """Recursive-descent parser for the PCRE subset."""
+
+    def __init__(self, pattern: str):
+        self.pattern = pattern
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        return self.pattern[self.pos] if self.pos < len(self.pattern) else None
+
+    def take(self) -> str:
+        c = self.pattern[self.pos]
+        self.pos += 1
+        return c
+
+    # alternation := concat ('|' concat)*
+    def parse_alternation(self) -> RegexAst:
+        branches = [self.parse_concat()]
+        while self.peek() == "|":
+            self.take()
+            branches.append(self.parse_concat())
+        if len(branches) == 1:
+            return branches[0]
+        return RegexAst("alt", children=branches)
+
+    def parse_concat(self) -> RegexAst:
+        parts: list[RegexAst] = []
+        while self.peek() is not None and self.peek() not in "|)":
+            parts.append(self.parse_quantified())
+        if not parts:
+            return RegexAst("empty")
+        if len(parts) == 1:
+            return parts[0]
+        return RegexAst("cat", children=parts)
+
+    def parse_quantified(self) -> RegexAst:
+        atom = self.parse_atom()
+        while True:
+            c = self.peek()
+            if c == "*":
+                self.take()
+                atom = RegexAst("star", children=[atom])
+            elif c == "+":
+                self.take()
+                atom = RegexAst("plus", children=[atom])
+            elif c == "?":
+                self.take()
+                atom = RegexAst("opt", children=[atom])
+            elif c == "{":
+                atom = self._parse_bounded(atom)
+            else:
+                return atom
+
+    def _parse_bounded(self, atom: RegexAst) -> RegexAst:
+        self.take()  # '{'
+        body = ""
+        while self.peek() is not None and self.peek() != "}":
+            body += self.take()
+        if self.peek() != "}":
+            raise RegexError(f"unterminated {{...}} in {self.pattern!r}")
+        self.take()
+        try:
+            if "," in body:
+                lo_s, hi_s = body.split(",", 1)
+                lo = int(lo_s)
+                hi = int(hi_s) if hi_s.strip() else None
+            else:
+                lo = hi = int(body)
+        except ValueError as exc:
+            raise RegexError(f"bad repetition {{{body}}}") from exc
+        if lo < 0 or (hi is not None and hi < lo):
+            raise RegexError(f"bad repetition bounds {{{body}}}")
+        if max(lo, hi or 0) > _MAX_REPEAT:
+            raise RegexError(f"repetition bound exceeds {_MAX_REPEAT}")
+        # x{m,n} -> x^m (x?)^(n-m);  x{m,} -> x^m x*
+        import copy
+
+        parts = [copy.deepcopy(atom) for _ in range(lo)]
+        if hi is None:
+            parts.append(RegexAst("star", children=[copy.deepcopy(atom)]))
+        else:
+            parts.extend(
+                RegexAst("opt", children=[copy.deepcopy(atom)])
+                for _ in range(hi - lo)
+            )
+        if not parts:
+            return RegexAst("empty")
+        if len(parts) == 1:
+            return parts[0]
+        return RegexAst("cat", children=parts)
+
+    def parse_atom(self) -> RegexAst:
+        c = self.peek()
+        if c is None:
+            raise RegexError("unexpected end of pattern")
+        if c == "(":
+            self.take()
+            inner = self.parse_alternation()
+            if self.peek() != ")":
+                raise RegexError(f"unbalanced '(' in {self.pattern!r}")
+            self.take()
+            return inner
+        if c == ")":
+            raise RegexError(f"unbalanced ')' in {self.pattern!r}")
+        if c == ".":
+            self.take()
+            return RegexAst("lit", symbols=SymbolSet.wildcard())
+        if c == "[":
+            return RegexAst("lit", symbols=self._parse_class())
+        if c == "\\":
+            try:
+                value, nxt = _parse_escape(self.pattern, self.pos)
+            except PcreError as exc:
+                raise RegexError(str(exc)) from exc
+            self.pos = nxt
+            return RegexAst("lit", symbols=SymbolSet.single(value))
+        if c in "*+?{":
+            raise RegexError(f"quantifier {c!r} with nothing to repeat")
+        self.take()
+        return RegexAst("lit", symbols=SymbolSet.single(ord(c)))
+
+    def _parse_class(self) -> SymbolSet:
+        self.take()  # '['
+        body = "["
+        # scan to the matching ']' honouring escapes
+        while True:
+            c = self.peek()
+            if c is None:
+                raise RegexError(f"unterminated class in {self.pattern!r}")
+            body += self.take()
+            if c == "\\":
+                if self.peek() is None:
+                    raise RegexError(f"dangling backslash in {self.pattern!r}")
+                esc = self.take()
+                body += esc
+                if esc == "x":
+                    if self.pos + 1 >= len(self.pattern):
+                        raise RegexError(f"truncated \\x escape in {self.pattern!r}")
+                    body += self.take() + self.take()
+            elif c == "]" and len(body) > 2:
+                break
+        from . import pcre
+
+        try:
+            return pcre.parse(body)
+        except PcreError as exc:
+            raise RegexError(str(exc)) from exc
+
+
+def parse_regex(pattern: str) -> RegexAst:
+    """Parse a pattern into a :class:`RegexAst`; raises :class:`RegexError`."""
+    if pattern == "":
+        raise RegexError("empty pattern")
+    p = _Parser(pattern)
+    ast = p.parse_alternation()
+    if p.pos != len(pattern):
+        raise RegexError(f"trailing characters at {p.pos} in {pattern!r}")
+    return ast
+
+
+# ---------------------------------------------------------------------------
+# Glushkov construction
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Glushkov:
+    nullable: bool
+    first: set[int]
+    last: set[int]
+
+
+def _analyze(
+    node: RegexAst,
+    positions: list[SymbolSet],
+    follow: dict[int, set[int]],
+) -> _Glushkov:
+    if node.kind == "empty":
+        return _Glushkov(True, set(), set())
+    if node.kind == "lit":
+        p = len(positions)
+        positions.append(node.symbols)
+        follow.setdefault(p, set())
+        return _Glushkov(False, {p}, {p})
+    if node.kind == "cat":
+        acc = _analyze(node.children[0], positions, follow)
+        for child in node.children[1:]:
+            nxt = _analyze(child, positions, follow)
+            for p in acc.last:
+                follow[p] |= nxt.first
+            acc = _Glushkov(
+                acc.nullable and nxt.nullable,
+                acc.first | nxt.first if acc.nullable else acc.first,
+                nxt.last | acc.last if nxt.nullable else nxt.last,
+            )
+        return acc
+    if node.kind == "alt":
+        parts = [_analyze(c, positions, follow) for c in node.children]
+        return _Glushkov(
+            any(p.nullable for p in parts),
+            set().union(*(p.first for p in parts)),
+            set().union(*(p.last for p in parts)),
+        )
+    if node.kind in ("star", "plus"):
+        inner = _analyze(node.children[0], positions, follow)
+        for p in inner.last:
+            follow[p] |= inner.first
+        return _Glushkov(
+            node.kind == "star" or inner.nullable, inner.first, inner.last
+        )
+    if node.kind == "opt":
+        inner = _analyze(node.children[0], positions, follow)
+        return _Glushkov(True, inner.first, inner.last)
+    raise RegexError(f"unknown AST node {node.kind!r}")  # pragma: no cover
+
+
+def compile_regex(
+    pattern: str,
+    report_code: int = 0,
+    anchored: bool = False,
+    name: str | None = None,
+    prefix: str = "",
+    network: AutomataNetwork | None = None,
+) -> AutomataNetwork:
+    """Compile a PCRE pattern into an AP-ready homogeneous NFA.
+
+    The returned network reports ``report_code`` at every stream offset
+    where a match of ``pattern`` ends.  Pass an existing ``network`` (and
+    a unique ``prefix``) to co-compile many patterns onto one board,
+    the AP's bread-and-butter usage ("it is ideal to instantiate many
+    NFAs in parallel").
+    """
+    ast = parse_regex(pattern)
+    positions: list[SymbolSet] = []
+    follow: dict[int, set[int]] = {}
+    info = _analyze(ast, positions, follow)
+    if info.nullable or not positions:
+        raise RegexError(
+            f"pattern {pattern!r} matches the empty string; zero-width "
+            "matches produce no reporting activation on the AP"
+        )
+
+    net = network if network is not None else AutomataNetwork(
+        name or f"regex:{pattern}"
+    )
+    start_mode = StartMode.START_OF_DATA if anchored else StartMode.ALL_INPUT
+    names = []
+    for p, symbols in enumerate(positions):
+        reporting = p in info.last
+        ste = STE(
+            f"{prefix}p{p}",
+            symbols,
+            start=start_mode if p in info.first else StartMode.NONE,
+            reporting=reporting,
+            report_code=report_code if reporting else None,
+        )
+        if reporting:
+            # One pattern = one logical reporter, even when alternation
+            # splits it into disconnected position groups.
+            ste.annotations["report_group"] = ("regex", prefix, pattern)
+        names.append(net.add_ste(ste))
+    for p, succs in follow.items():
+        for q in succs:
+            net.connect(names[p], names[q])
+    return net

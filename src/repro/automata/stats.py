@@ -1,0 +1,66 @@
+"""Activation-activity statistics from simulation traces.
+
+The paper measures AP dynamic power with a meter and scales it
+linearly; the observable that *drives* dynamic power in a CMOS fabric
+is switching activity.  This module extracts activity factors from
+cycle-accurate traces — mean fraction of elements active per cycle,
+per-element duty cycles, and switching (0↔1 transition) counts — which
+(a) explains the calibrated per-workload power table (higher board
+utilization → more active STEs → more watts; see
+:func:`repro.perf.energy.utilization_scaled_power`) and (b) gives
+downstream users a first-principles hook for power studies on their own
+automata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .simulator import SimulationResult
+
+__all__ = ["ActivityReport", "activity_report"]
+
+
+@dataclass
+class ActivityReport:
+    """Activity factors extracted from one traced simulation."""
+
+    n_cycles: int
+    n_elements: int
+    mean_active_fraction: float  # mean over cycles of (active / elements)
+    peak_active_fraction: float
+    mean_switching_fraction: float  # 0<->1 transitions per element-cycle
+    duty_cycle: dict[str, float]  # per element: fraction of cycles active
+
+    def busiest(self, top: int = 5) -> list[tuple[str, float]]:
+        """The ``top`` elements with the highest duty cycles."""
+        items = sorted(self.duty_cycle.items(), key=lambda kv: -kv[1])
+        return items[:top]
+
+
+def activity_report(result: SimulationResult) -> ActivityReport:
+    """Compute activity factors; requires ``record_trace=True``."""
+    if result.activation_trace is None:
+        raise ValueError("simulation was run without record_trace=True")
+    trace = result.activation_trace  # (cycles, elements) bool
+    n_cycles, n_elements = trace.shape
+    if n_cycles == 0 or n_elements == 0:
+        return ActivityReport(n_cycles, n_elements, 0.0, 0.0, 0.0, {})
+    per_cycle = trace.mean(axis=1)
+    # switching: transitions between consecutive cycles (incl. from the
+    # all-idle state before cycle 0)
+    padded = np.vstack([np.zeros((1, n_elements), dtype=bool), trace])
+    switches = np.logical_xor(padded[1:], padded[:-1]).mean()
+    duty = trace.mean(axis=0)
+    return ActivityReport(
+        n_cycles=n_cycles,
+        n_elements=n_elements,
+        mean_active_fraction=float(per_cycle.mean()),
+        peak_active_fraction=float(per_cycle.max()),
+        mean_switching_fraction=float(switches),
+        duty_cycle={
+            name: float(duty[i]) for i, name in enumerate(result.element_order)
+        },
+    )

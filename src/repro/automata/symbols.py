@@ -1,0 +1,151 @@
+"""8-bit symbol sets for STE match conditions.
+
+Every STE in the AP matches the current input symbol against a set of
+8-bit symbols (Section II-B).  We represent such a set as a 256-entry
+boolean mask.  Constructors cover the idioms the paper uses:
+
+* ``SymbolSet.wildcard()`` — the ``*`` states of the Hamming macro.
+* ``SymbolSet.single(b)`` / ``from_values`` — matching states for an
+  encoded vector bit.
+* ``SymbolSet.negated_single(b)`` — the ``^EOF`` sort state.
+* ``SymbolSet.ternary("0b*******1")`` — the bit-sliced matches of
+  symbol-stream multiplexing (Section VI-B), which the paper notes are
+  realized by exhaustively enumerating the extended-ASCII characters
+  that satisfy the ternary pattern.
+
+The module also fixes the special control-symbol encoding used by the
+kNN symbol streams (:mod:`repro.core.stream`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SymbolSet", "SOF", "EOF", "PAD", "BIT0", "BIT1"]
+
+# Control symbols for kNN streams.  Data symbols occupy the low half of
+# the symbol space (0x00-0x7F) so that multiplexed bit-slice matches
+# (ternary patterns over bits 0..6 with bit 7 clear) can never collide
+# with the control symbols, which all have bit 7 set.
+SOF = 0xFE  # start-of-file: demarcates the start of a query vector
+EOF = 0xFF  # end-of-file: ends the sorting phase and resets counters
+PAD = 0xFD  # filler symbol streamed during the temporal sort (matches ^EOF)
+BIT0 = 0x00  # query bit 0 in the unmultiplexed encoding
+BIT1 = 0x01  # query bit 1 in the unmultiplexed encoding
+
+_ALPHABET = 256
+
+
+@dataclass(frozen=True)
+class SymbolSet:
+    """An immutable set of 8-bit symbols backed by a 256-bool mask."""
+
+    mask: bytes  # 256 bytes of 0/1; bytes keeps the dataclass hashable
+
+    def __post_init__(self) -> None:
+        if len(self.mask) != _ALPHABET:
+            raise ValueError(f"mask must have {_ALPHABET} entries")
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def from_mask(cls, mask: np.ndarray) -> "SymbolSet":
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (_ALPHABET,):
+            raise ValueError(f"mask must have shape ({_ALPHABET},)")
+        return cls(mask.astype(np.uint8).tobytes())
+
+    @classmethod
+    def from_values(cls, values) -> "SymbolSet":
+        mask = np.zeros(_ALPHABET, dtype=bool)
+        for v in values:
+            v = int(v)
+            if not 0 <= v < _ALPHABET:
+                raise ValueError(f"symbol {v} out of range 0..255")
+            mask[v] = True
+        return cls.from_mask(mask)
+
+    @classmethod
+    def single(cls, value: int) -> "SymbolSet":
+        return cls.from_values([value])
+
+    @classmethod
+    def wildcard(cls) -> "SymbolSet":
+        """The ``*`` symbol set: matches every symbol."""
+        return cls.from_mask(np.ones(_ALPHABET, dtype=bool))
+
+    @classmethod
+    def empty(cls) -> "SymbolSet":
+        return cls.from_mask(np.zeros(_ALPHABET, dtype=bool))
+
+    @classmethod
+    def negated_single(cls, value: int) -> "SymbolSet":
+        """Match anything except ``value`` (e.g. the ``^EOF`` sort state)."""
+        mask = np.ones(_ALPHABET, dtype=bool)
+        mask[int(value)] = False
+        return cls.from_mask(mask)
+
+    @classmethod
+    def ternary(cls, pattern: str) -> "SymbolSet":
+        """Build a set from a ternary bit pattern like ``"0b*******1"``.
+
+        Each of the 8 positions (MSB first after the ``0b`` prefix) is
+        ``0``, ``1``, or ``*`` (don't care).  This is the TCAM-style
+        encoding of Section VI-B.
+        """
+        if not pattern.startswith("0b"):
+            raise ValueError("ternary pattern must start with '0b'")
+        body = pattern[2:]
+        if len(body) != 8 or any(c not in "01*" for c in body):
+            raise ValueError(
+                f"ternary pattern needs exactly 8 chars of 0/1/*: {pattern!r}"
+            )
+        values = np.arange(_ALPHABET, dtype=np.uint16)
+        mask = np.ones(_ALPHABET, dtype=bool)
+        for pos, c in enumerate(body):  # body[0] is bit 7 (MSB)
+            bit = 7 - pos
+            if c == "*":
+                continue
+            mask &= ((values >> bit) & 1) == int(c)
+        return cls.from_mask(mask)
+
+    # -- queries ------------------------------------------------------
+
+    def as_array(self) -> np.ndarray:
+        return np.frombuffer(self.mask, dtype=np.uint8).astype(bool)
+
+    def matches(self, symbol: int) -> bool:
+        return bool(self.mask[int(symbol)])
+
+    def values(self) -> list[int]:
+        return [i for i, m in enumerate(self.mask) if m]
+
+    def cardinality(self) -> int:
+        return int(np.frombuffer(self.mask, dtype=np.uint8).sum())
+
+    # -- algebra (used by the optimizer and by ANML round-trips) ------
+
+    def union(self, other: "SymbolSet") -> "SymbolSet":
+        return SymbolSet.from_mask(self.as_array() | other.as_array())
+
+    def intersection(self, other: "SymbolSet") -> "SymbolSet":
+        return SymbolSet.from_mask(self.as_array() & other.as_array())
+
+    def complement(self) -> "SymbolSet":
+        return SymbolSet.from_mask(~self.as_array())
+
+    def is_wildcard(self) -> bool:
+        return self.cardinality() == _ALPHABET
+
+    def __contains__(self, symbol: int) -> bool:
+        return self.matches(symbol)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        card = self.cardinality()
+        if card == _ALPHABET:
+            return "SymbolSet(*)"
+        if card <= 4:
+            return f"SymbolSet({self.values()})"
+        return f"SymbolSet(<{card} symbols>)"

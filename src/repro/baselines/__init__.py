@@ -1,0 +1,16 @@
+"""Competing-platform baselines: CPU linear scan, GPU kernel model, and
+the cycle-level FPGA accelerator simulator (paper Section IV-C)."""
+
+from .cpu import CPUHammingKnn, CPUSearchResult
+from .fpga import FPGAExecutionStats, FPGAKnnAccelerator
+from .gpu import GPUExecutionStats, GPUKnnSimulator, titan_x_simulator
+
+__all__ = [
+    "CPUHammingKnn",
+    "CPUSearchResult",
+    "FPGAExecutionStats",
+    "FPGAKnnAccelerator",
+    "GPUExecutionStats",
+    "GPUKnnSimulator",
+    "titan_x_simulator",
+]

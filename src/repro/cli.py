@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Downstream-user entry points over the library's main flows:
+
+* ``search`` — kNN over ``.npy`` binary datasets on the simulated AP;
+* ``compile`` — PCRE -> ANML compilation (the AP programming model);
+* ``simulate`` — run an ANML file against an input file and print the
+  report records;
+* ``tables`` — print the paper's Table I / Table II registries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Similarity search on (simulated) automata processors",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    s = sub.add_parser("search", help="kNN search over a binary .npy dataset")
+    s.add_argument("dataset", help=".npy uint8 array of shape (n, d), values 0/1")
+    s.add_argument("queries", help=".npy uint8 array of shape (q, d)")
+    s.add_argument("-k", type=int, default=10, help="neighbors per query")
+    s.add_argument("--device", choices=["gen1", "gen2"], default="gen1")
+    s.add_argument("--board-capacity", type=int, default=None)
+    s.add_argument("--out", default=None, help="save indices to this .npy")
+
+    c = sub.add_parser("compile", help="compile a PCRE pattern to ANML")
+    c.add_argument("pattern", help="PCRE pattern (subset; see repro.automata.regex)")
+    c.add_argument("--report-code", type=int, default=0)
+    c.add_argument("--anchored", action="store_true")
+    c.add_argument("--out", default=None, help="write ANML here (default stdout)")
+    c.add_argument("--optimize", action="store_true",
+                   help="run prefix merging before emitting")
+
+    r = sub.add_parser("simulate", help="run an ANML file over an input file")
+    r.add_argument("anml", help="ANML network file")
+    r.add_argument("input", help="file whose bytes form the symbol stream")
+    r.add_argument("--limit", type=int, default=20,
+                   help="print at most this many reports (0 = all)")
+
+    sub.add_parser("tables", help="print the paper's Table I / II registries")
+    return p
+
+
+def _cmd_search(args) -> int:
+    from repro.ap.device import GEN1, GEN2
+    from repro.core.engine import APSimilaritySearch
+
+    dataset = np.load(args.dataset)
+    queries = np.load(args.queries)
+    device = GEN1 if args.device == "gen1" else GEN2
+    engine = APSimilaritySearch(
+        dataset.astype(np.uint8),
+        k=args.k,
+        device=device,
+        board_capacity=args.board_capacity,
+    )
+    result = engine.search(queries.astype(np.uint8))
+    print(f"# {queries.shape[0]} queries, k={result.k}, "
+          f"{result.n_partitions} partition(s), mode={result.execution}")
+    print(f"# board loads={result.counters.configurations} "
+          f"symbols={result.counters.symbols_streamed} "
+          f"reports={result.counters.reports_received}")
+    est = engine.estimated_runtime_s(queries.shape[0])
+    print(f"# estimated {args.device} device time: {est * 1e3:.3f} ms")
+    for qi in range(min(queries.shape[0], 10)):
+        pairs = " ".join(
+            f"{i}:{d}" for i, d in zip(result.indices[qi], result.distances[qi])
+        )
+        print(f"q{qi}: {pairs}")
+    if args.out:
+        np.save(args.out, result.indices)
+        print(f"# indices saved to {args.out}")
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    from repro.automata.anml import to_anml
+    from repro.automata.optimize import optimize
+    from repro.automata.regex import compile_regex
+
+    net = compile_regex(
+        args.pattern, report_code=args.report_code, anchored=args.anchored
+    )
+    if args.optimize:
+        net, stats = optimize(net)
+        print(f"# optimized: {stats.stes_before} -> {stats.stes_after} STEs",
+              file=sys.stderr)
+    text = to_anml(net)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text + "\n")
+        print(f"# ANML written to {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.automata.anml import parse_anml
+    from repro.automata.simulator import CompiledSimulator
+
+    with open(args.anml) as f:
+        net = parse_anml(f.read())
+    with open(args.input, "rb") as f:
+        stream = f.read()
+    res = CompiledSimulator(net).run(stream)
+    print(f"# {len(net.elements)} elements, {res.n_cycles} cycles, "
+          f"{len(res.reports)} reports")
+    shown = res.reports if args.limit == 0 else res.reports[: args.limit]
+    for r in shown:
+        print(f"cycle={r.cycle} code={r.code}")
+    if args.limit and len(res.reports) > args.limit:
+        print(f"... ({len(res.reports) - args.limit} more)")
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    from repro.perf.models import PLATFORMS
+    from repro.workloads.params import LARGE_N, N_QUERIES, WORKLOADS
+
+    print("Table I: evaluated platforms")
+    for p in PLATFORMS.values():
+        cores = p.cores if p.cores is not None else "N/A"
+        print(f"  {p.name:20s} {p.kind:5s} cores={cores!s:5s} "
+              f"{p.process_nm}nm {p.clock_mhz:.0f}MHz")
+    print(f"\nTable II: workloads ({N_QUERIES} queries, large n = {LARGE_N})")
+    for w in WORKLOADS.values():
+        print(f"  {w.name:15s} d={w.d:4d} k={w.k:3d} small_n={w.small_n:5d} "
+              f"board_capacity={w.board_capacity}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "search": _cmd_search,
+        "compile": _cmd_compile,
+        "simulate": _cmd_simulate,
+        "tables": _cmd_tables,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

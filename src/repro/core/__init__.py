@@ -1,0 +1,50 @@
+"""The paper's core contribution: the kNN automata design and engine.
+
+Exposes the Hamming/sorting macro builders (Fig. 2), the symbol-stream
+codec (Fig. 2c / Fig. 3), the exact functional model, and the top-level
+:class:`APSimilaritySearch` engine with partial reconfiguration.
+"""
+
+from .engine import APSimilaritySearch, KnnResult
+from .images import ImageManifest, export_image_library, load_image_library
+from .index_automata import IndexGatedSearch
+from .multiboard import MultiBoardResult, MultiBoardSearch
+from .range_search import HammingRangeSearch, RangeSearchResult
+from .functional import FunctionalKnnBoard
+from .jaccard import JaccardAPSearch, JaccardResult, JaccardThresholdFilter
+from .macros import (
+    MacroConfig,
+    MacroHandles,
+    build_knn_network,
+    build_vector_macro,
+    collector_tree_depth,
+    macro_ste_cost,
+)
+from .stream import StreamLayout, decode_report_offset, encode_query, encode_query_batch
+
+__all__ = [
+    "APSimilaritySearch",
+    "KnnResult",
+    "ImageManifest",
+    "export_image_library",
+    "load_image_library",
+    "MultiBoardResult",
+    "MultiBoardSearch",
+    "IndexGatedSearch",
+    "HammingRangeSearch",
+    "RangeSearchResult",
+    "FunctionalKnnBoard",
+    "JaccardAPSearch",
+    "JaccardResult",
+    "JaccardThresholdFilter",
+    "MacroConfig",
+    "MacroHandles",
+    "build_knn_network",
+    "build_vector_macro",
+    "collector_tree_depth",
+    "macro_ste_cost",
+    "StreamLayout",
+    "decode_report_offset",
+    "encode_query",
+    "encode_query_batch",
+]

@@ -1,0 +1,251 @@
+"""End-to-end AP kNN engine: partitioning, streaming, decoding, merging.
+
+:class:`APSimilaritySearch` is the library's headline API.  It owns the
+full flow of Section III:
+
+1. split the dataset into board-sized partitions (Section III-C's
+   partial reconfiguration; each partition becomes one precompiled
+   board image);
+2. per partition, stream the encoded query batch and collect reports
+   — either through the cycle-accurate simulator (``execution=
+   "simulate"``) or the exact functional model (``"functional"``);
+3. decode reports: the *earliest k reports per query block* are that
+   partition's k nearest neighbors, because the temporal sort emits
+   activations in ascending-distance order (ties resolved by state ID,
+   i.e. dataset index) — no distance sort ever runs on the host;
+4. merge per-partition candidates into the global top-k while queries
+   stream against the next board image.
+
+The engine reports functional results plus the runtime event counters
+(:class:`~repro.ap.runtime.RuntimeCounters`) that the performance
+models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ap.compiler import APCompiler
+from ..ap.device import APDeviceSpec, GEN1
+from ..ap.runtime import APRuntime, RuntimeCounters
+from ..perf.models import APModel
+from ..util.topk import merge_topk
+from .functional import FunctionalKnnBoard
+from .macros import MacroConfig, build_knn_network, collector_tree_depth
+from .stream import StreamLayout, decode_report_offset, encode_query_batch
+
+__all__ = ["KnnResult", "APSimilaritySearch"]
+
+# Above this many (state x cycle) operations per partition pass the
+# engine auto-switches from cycle simulation to the functional model.
+_AUTO_SIM_LIMIT = 50_000_000
+
+
+@dataclass
+class KnnResult:
+    """kNN answers plus the accounting a hardware run would produce."""
+
+    indices: np.ndarray  # (q, k) dataset indices, ascending (distance, index)
+    distances: np.ndarray  # (q, k) Hamming distances
+    counters: RuntimeCounters
+    n_partitions: int
+    execution: str
+
+    @property
+    def k(self) -> int:
+        return self.indices.shape[1]
+
+
+class APSimilaritySearch:
+    """kNN similarity search on a (simulated) Automata Processor.
+
+    Parameters
+    ----------
+    dataset_bits:
+        ``(n, d)`` binary dataset (quantized offline, e.g. with
+        :class:`repro.index.itq.ITQQuantizer`).
+    k:
+        Number of neighbors per query.
+    device:
+        AP generation (timing/capacity constants).
+    board_capacity:
+        Vectors per board configuration.  Defaults to the compiler's
+        estimate for this ``d``; the paper's workloads pin 1024 (d≤128)
+        or 512 (d=256) — see
+        :class:`repro.workloads.params.WorkloadParams`.
+    execution:
+        ``"simulate"`` (cycle-accurate), ``"functional"`` (exact fast
+        model), or ``"auto"``.
+    """
+
+    def __init__(
+        self,
+        dataset_bits: np.ndarray,
+        k: int,
+        device: APDeviceSpec = GEN1,
+        board_capacity: int | None = None,
+        macro_config: MacroConfig = MacroConfig(),
+        execution: str = "auto",
+    ):
+        dataset_bits = np.asarray(dataset_bits, dtype=np.uint8)
+        if dataset_bits.ndim != 2 or dataset_bits.shape[0] == 0:
+            raise ValueError("dataset must be a non-empty (n, d) array")
+        if not np.isin(dataset_bits, (0, 1)).all():
+            raise ValueError("dataset must be binary (0/1)")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if execution not in ("simulate", "functional", "auto"):
+            raise ValueError(f"unknown execution mode {execution!r}")
+
+        self.dataset = dataset_bits
+        self.n, self.d = dataset_bits.shape
+        self.k = int(min(k, self.n))
+        self.device = device
+        self.macro_config = macro_config
+        self.execution = execution
+        self.layout = StreamLayout(
+            self.d, collector_tree_depth(self.d, macro_config.max_fan_in)
+        )
+        if board_capacity is None:
+            board_capacity = self._default_capacity()
+        if board_capacity < 1:
+            raise ValueError("board_capacity must be >= 1")
+        self.board_capacity = int(board_capacity)
+        self.partitions = [
+            (start, min(start + self.board_capacity, self.n))
+            for start in range(0, self.n, self.board_capacity)
+        ]
+
+    def _default_capacity(self) -> int:
+        """Compiler-derived vectors-per-board for this dimensionality."""
+        template, _ = build_knn_network(
+            self.dataset[:1], config=self.macro_config, name="capacity-probe"
+        )
+        return APCompiler(self.device).max_instances(template)
+
+    # -- execution -------------------------------------------------------
+
+    def _choose_execution(self, n_queries: int = 1) -> str:
+        if self.execution != "auto":
+            return self.execution
+        states = min(self.board_capacity, self.n) * (2 * self.d + 8)
+        cost = states * self.layout.block_length * max(1, n_queries)
+        return "simulate" if cost <= _AUTO_SIM_LIMIT else "functional"
+
+    def search(self, queries_bits: np.ndarray) -> KnnResult:
+        """Run a query batch; returns global top-k per query."""
+        queries_bits = np.asarray(queries_bits, dtype=np.uint8)
+        if queries_bits.ndim == 1:
+            queries_bits = queries_bits[None, :]
+        if queries_bits.shape[1] != self.d:
+            raise ValueError(
+                f"queries have d={queries_bits.shape[1]}, dataset d={self.d}"
+            )
+        if not np.isin(queries_bits, (0, 1)).all():
+            raise ValueError("queries must be binary (0/1)")
+        mode = self._choose_execution(queries_bits.shape[0])
+        n_q = queries_bits.shape[0]
+
+        # Per-query running top-k across partitions (host-side merge,
+        # Section III-C: "the host processor ... keep[s] track of
+        # intermediary results per query across board reconfigurations").
+        partials: list[list[tuple[np.ndarray, np.ndarray]]] = [[] for _ in range(n_q)]
+        counters = RuntimeCounters()
+
+        for p_idx, (start, end) in enumerate(self.partitions):
+            if mode == "simulate":
+                q_idx, codes, cycles = self._run_simulated(
+                    queries_bits, start, end, counters
+                )
+            else:
+                q_idx, codes, cycles = self._run_functional(
+                    queries_bits, start, end, counters
+                )
+            self._decode_partition(q_idx, codes, cycles, partials, n_q)
+
+        indices = np.empty((n_q, self.k), dtype=np.int64)
+        distances = np.empty((n_q, self.k), dtype=np.int64)
+        for qi in range(n_q):
+            idx, dist = merge_topk(partials[qi], self.k)
+            indices[qi] = idx
+            distances[qi] = dist.astype(np.int64)
+        return KnnResult(
+            indices=indices,
+            distances=distances,
+            counters=counters,
+            n_partitions=len(self.partitions),
+            execution=mode,
+        )
+
+    # -- back-ends --------------------------------------------------------
+
+    def _run_simulated(self, queries, start, end, counters):
+        runtime = APRuntime(self.device)
+        network, _ = build_knn_network(
+            self.dataset[start:end],
+            config=self.macro_config,
+            name=f"partition{start}",
+            report_code_base=start,
+        )
+        image = runtime.build_image(network, partition=(start, end))
+        runtime.configure(image)
+        stream = encode_query_batch(queries, self.layout)
+        reports = runtime.stream(stream)
+        counters.merge(runtime.counters)
+        q_idx = np.array([r.cycle // self.layout.block_length for r in reports])
+        codes = np.array([r.code for r in reports], dtype=np.int64)
+        cycles = np.array([r.cycle for r in reports], dtype=np.int64)
+        return q_idx, codes, cycles
+
+    def _run_functional(self, queries, start, end, counters):
+        board = FunctionalKnnBoard(
+            self.dataset[start:end], self.layout, report_code_base=start
+        )
+        q_idx, codes, cycles = board.query_reports(queries)
+        counters.configurations += 1
+        counters.symbols_streamed += queries.shape[0] * self.layout.block_length
+        counters.reports_received += codes.shape[0]
+        counters.report_payload_bits += codes.shape[0] * 64
+        return q_idx, codes, cycles
+
+    # -- decoding ----------------------------------------------------------
+
+    def _decode_partition(self, q_idx, codes, cycles, partials, n_q):
+        """Keep the earliest k reports per query: they ARE the top-k.
+
+        Reports arrive ordered by activation time; the temporal sort
+        means earlier activation = smaller distance, and simultaneous
+        activations are consumed in state-ID (= dataset index) order,
+        matching the library-wide tie-break.
+        """
+        if codes.shape[0] == 0:
+            return
+        order = np.lexsort((codes, cycles, q_idx))
+        q_sorted = q_idx[order]
+        codes_sorted = codes[order]
+        cycles_sorted = cycles[order]
+        block_starts = np.searchsorted(q_sorted, np.arange(n_q), side="left")
+        block_ends = np.searchsorted(q_sorted, np.arange(n_q), side="right")
+        for qi in range(n_q):
+            lo, hi = block_starts[qi], min(block_ends[qi], block_starts[qi] + self.k)
+            if hi <= lo:
+                continue
+            sel_codes = codes_sorted[lo:hi]
+            sel_cycles = cycles_sorted[lo:hi]
+            dists = np.array(
+                [
+                    decode_report_offset(int(c), self.layout)[2]
+                    for c in sel_cycles
+                ],
+                dtype=np.int64,
+            )
+            partials[qi].append((sel_codes, dists))
+
+    # -- performance hooks ---------------------------------------------------
+
+    def estimated_runtime_s(self, n_queries: int, model: APModel | None = None) -> float:
+        """Paper-model run time for this dataset/capacity on ``model``."""
+        model = model or APModel(device=self.device)
+        return model.runtime_s(self.n, n_queries, self.d, self.board_capacity)

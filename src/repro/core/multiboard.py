@@ -1,0 +1,133 @@
+"""Multi-device scale-out for AP kNN.
+
+A single AP board holds 512-1024 vectors per configuration; the paper's
+answer to larger datasets is serial reconfiguration (Section III-C).
+The obvious deployment answer — the one every rack would use — is
+*data-parallel scale-out*: shard the dataset across D devices, stream
+the same query batch to all of them concurrently, and merge the
+per-device top-k on the host (the same merge the single-board engine
+already does across partitions, so exactness is preserved).
+
+:class:`MultiBoardSearch` models that: per-device
+:class:`~repro.core.engine.APSimilaritySearch` engines over disjoint
+shards, combined result decoding, and a run-time model where the
+device-side time divides by D (devices run concurrently) while the
+per-device reconfiguration count falls as the shard shrinks:
+
+``T(D) = ceil(partitions / D) x (t_reconfig + q·d·t_cycle)``
+
+Scaling is near-linear until a shard fits in one configuration, after
+which more devices only buy idle silicon — the crossover the scaling
+benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ap.device import APDeviceSpec, GEN1
+from ..ap.runtime import RuntimeCounters
+from ..util.topk import merge_topk
+from .engine import APSimilaritySearch, KnnResult
+from .macros import MacroConfig
+
+__all__ = ["MultiBoardResult", "MultiBoardSearch"]
+
+
+@dataclass
+class MultiBoardResult:
+    indices: np.ndarray
+    distances: np.ndarray
+    per_device_partitions: list[int]
+    counters: RuntimeCounters  # aggregate over all devices
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.per_device_partitions)
+
+
+class MultiBoardSearch:
+    """Shard a dataset across ``n_devices`` APs; exact merged kNN."""
+
+    def __init__(
+        self,
+        dataset_bits: np.ndarray,
+        k: int,
+        n_devices: int,
+        device: APDeviceSpec = GEN1,
+        board_capacity: int | None = None,
+        macro_config: MacroConfig = MacroConfig(),
+        execution: str = "functional",
+    ):
+        dataset_bits = np.asarray(dataset_bits, dtype=np.uint8)
+        if dataset_bits.ndim != 2 or dataset_bits.shape[0] == 0:
+            raise ValueError("dataset must be a non-empty (n, d) array")
+        if n_devices < 1:
+            raise ValueError("need at least one device")
+        if n_devices > dataset_bits.shape[0]:
+            raise ValueError("more devices than dataset vectors")
+        self.n, self.d = dataset_bits.shape
+        self.k = min(int(k), self.n)
+        self.n_devices = int(n_devices)
+        self.device = device
+
+        # contiguous shards; engines keep global IDs via index offsets
+        bounds = np.linspace(0, self.n, self.n_devices + 1, dtype=np.int64)
+        self._shard_offsets = bounds[:-1]
+        self._engines: list[APSimilaritySearch] = []
+        for di in range(self.n_devices):
+            shard = dataset_bits[bounds[di] : bounds[di + 1]]
+            self._engines.append(
+                APSimilaritySearch(
+                    shard,
+                    k=self.k,
+                    device=device,
+                    board_capacity=board_capacity,
+                    macro_config=macro_config,
+                    execution=execution,
+                )
+            )
+
+    def search(self, queries_bits: np.ndarray) -> MultiBoardResult:
+        queries_bits = np.asarray(queries_bits, dtype=np.uint8)
+        if queries_bits.ndim == 1:
+            queries_bits = queries_bits[None, :]
+        n_q = queries_bits.shape[0]
+        results: list[KnnResult] = [e.search(queries_bits) for e in self._engines]
+
+        counters = RuntimeCounters()
+        for r in results:
+            counters.merge(r.counters)
+
+        indices = np.empty((n_q, self.k), dtype=np.int64)
+        distances = np.empty((n_q, self.k), dtype=np.int64)
+        for qi in range(n_q):
+            partials = [
+                (r.indices[qi] + off, r.distances[qi])
+                for r, off in zip(results, self._shard_offsets)
+            ]
+            idx, dist = merge_topk(partials, self.k)
+            indices[qi] = idx
+            distances[qi] = dist.astype(np.int64)
+        return MultiBoardResult(
+            indices=indices,
+            distances=distances,
+            per_device_partitions=[r.n_partitions for r in results],
+            counters=counters,
+        )
+
+    def estimated_runtime_s(self, n_queries: int) -> float:
+        """Makespan across concurrently-running devices (slowest shard)."""
+        return max(
+            e.estimated_runtime_s(n_queries) for e in self._engines
+        )
+
+    def scaling_efficiency(self, n_queries: int,
+                           single_device_runtime_s: float) -> float:
+        """Speedup over one device divided by the device count."""
+        t = self.estimated_runtime_s(n_queries)
+        if t <= 0:
+            return 1.0
+        return (single_device_runtime_s / t) / self.n_devices

@@ -1,0 +1,16 @@
+"""Host-side driver stack (paper Fig. 1a): simulated-time device/host
+timelines, submission policies, and the Section III-C partition scheduler."""
+
+from .driver import APDriver, OpKind, SubmissionMode, Timeline, TimelineEntry
+from .scheduler import POLICIES, ScheduleResult, schedule_knn_run
+
+__all__ = [
+    "APDriver",
+    "OpKind",
+    "SubmissionMode",
+    "Timeline",
+    "TimelineEntry",
+    "POLICIES",
+    "ScheduleResult",
+    "schedule_knn_run",
+]

@@ -1,0 +1,158 @@
+"""Host-side AP driver model with a simulated timeline (paper Fig. 1a).
+
+The paper's software stack is *application → API interface → driver →
+PCIe → device*, and its run-time model assumes "the host processing
+program can operate concurrently (non-blocking API calls) with the AP
+much like how a CUDA program offloads to GPUs" (Section IV-B).  This
+module makes that assumption an explicit, analyzable object: a device
+timeline onto which configuration and streaming operations are
+scheduled, plus a host timeline for result decoding, with either
+blocking or asynchronous submission semantics.
+
+The driver does not re-simulate automata — callers attach the report
+payloads (from the engine or the simulators); it accounts *time*:
+
+* ``configure`` ops take the generation's reconfiguration latency;
+* ``stream`` ops take ``symbols x cycle_time`` of device time;
+* decode work takes ``reports x host_ns_per_report`` of host time;
+* in ``async`` mode the host decodes batch *i* while the device
+  executes batch *i+1*; in ``blocking`` mode every op is a barrier.
+
+``timeline.makespan`` is then directly comparable across submission
+policies — the quantity the pipelining ablation reports.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..ap.device import APDeviceSpec, GEN1
+
+__all__ = ["OpKind", "SubmissionMode", "TimelineEntry", "Timeline", "APDriver"]
+
+
+class OpKind(enum.Enum):
+    CONFIGURE = "configure"
+    STREAM = "stream"
+    HOST_DECODE = "host-decode"
+
+
+class SubmissionMode(enum.Enum):
+    BLOCKING = "blocking"  # every call waits for completion
+    ASYNC = "async"  # device queue + overlapped host decode
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    kind: OpKind
+    label: str
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass
+class Timeline:
+    """Completed operations on the device and host lanes."""
+
+    device: list[TimelineEntry] = field(default_factory=list)
+    host: list[TimelineEntry] = field(default_factory=list)
+
+    @property
+    def makespan_s(self) -> float:
+        ends = [e.end_s for e in self.device] + [e.end_s for e in self.host]
+        return max(ends, default=0.0)
+
+    @property
+    def device_busy_s(self) -> float:
+        return sum(e.duration_s for e in self.device)
+
+    @property
+    def host_busy_s(self) -> float:
+        return sum(e.duration_s for e in self.host)
+
+    @property
+    def device_utilization(self) -> float:
+        m = self.makespan_s
+        return self.device_busy_s / m if m > 0 else 0.0
+
+    def overlap_s(self) -> float:
+        """Total time during which device and host work concurrently."""
+        total = 0.0
+        for d in self.device:
+            for h in self.host:
+                lo = max(d.start_s, h.start_s)
+                hi = min(d.end_s, h.end_s)
+                if hi > lo:
+                    total += hi - lo
+        return total
+
+
+class APDriver:
+    """Simulated-time driver: submit configure/stream ops, decode on host."""
+
+    def __init__(
+        self,
+        device: APDeviceSpec = GEN1,
+        mode: SubmissionMode = SubmissionMode.ASYNC,
+        host_ns_per_report: float = 2.0,
+    ):
+        self.device = device
+        self.mode = mode
+        self.host_ns_per_report = float(host_ns_per_report)
+        self.timeline = Timeline()
+        self._device_free_at = 0.0
+        self._host_free_at = 0.0
+
+    # -- submission ------------------------------------------------------
+
+    def _device_op(self, kind: OpKind, label: str, duration_s: float,
+                   not_before: float = 0.0) -> TimelineEntry:
+        start = max(self._device_free_at, not_before)
+        entry = TimelineEntry(kind, label, start, start + duration_s)
+        self.timeline.device.append(entry)
+        self._device_free_at = entry.end_s
+        if self.mode is SubmissionMode.BLOCKING:
+            # a blocking call keeps the host captive until completion
+            self._host_free_at = max(self._host_free_at, entry.end_s)
+        return entry
+
+    def configure(self, label: str = "configure") -> TimelineEntry:
+        """Load a board image (one reconfiguration latency)."""
+        return self._device_op(
+            OpKind.CONFIGURE, label, self.device.reconfiguration_latency_s
+        )
+
+    def stream(self, n_symbols: int, label: str = "stream") -> TimelineEntry:
+        """Stream ``n_symbols`` through the configured image."""
+        if n_symbols < 0:
+            raise ValueError("symbol count must be non-negative")
+        return self._device_op(
+            OpKind.STREAM, label, n_symbols * self.device.cycle_time_s
+        )
+
+    def decode(self, n_reports: int, after: TimelineEntry,
+               label: str = "decode") -> TimelineEntry:
+        """Host-side result resolution for a completed stream op.
+
+        In async mode this may overlap subsequent device ops; in
+        blocking mode the host is already serialized behind the device.
+        """
+        if n_reports < 0:
+            raise ValueError("report count must be non-negative")
+        start = max(self._host_free_at, after.end_s)
+        duration = n_reports * self.host_ns_per_report * 1e-9
+        entry = TimelineEntry(OpKind.HOST_DECODE, label, start, start + duration)
+        self.timeline.host.append(entry)
+        self._host_free_at = entry.end_s
+        return entry
+
+    def synchronize(self) -> float:
+        """Barrier: returns the time at which all submitted work is done."""
+        t = max(self._device_free_at, self._host_free_at)
+        self._device_free_at = self._host_free_at = t
+        return t

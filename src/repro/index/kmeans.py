@@ -1,0 +1,123 @@
+"""Hierarchical k-means index over binary codes (Section II-A).
+
+The dataset is recursively partitioned into ``branching`` clusters
+(Lloyd's algorithm on the 0/1 vectors; centroids are real-valued bit
+means, and for binary points squared Euclidean distance to a point
+equals Hamming distance up to a per-centroid constant).  "Unlike
+randomized kd-trees, traversing the k-means index requires a distance
+calculation at each node" — :meth:`query_buckets` counts those
+traversal distance computations so the Table V host-traversal model can
+charge for them.  Leaves with at most ``bucket_size`` points are the
+scan buckets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .base import SpatialIndex
+
+__all__ = ["HierarchicalKMeans"]
+
+
+@dataclass
+class _KMNode:
+    centroids: np.ndarray | None = None  # (b, d) float64
+    children: list[int] = field(default_factory=list)
+    bucket: int = -1
+
+
+def _lloyd(
+    points: np.ndarray, k: int, rng: np.random.Generator, iters: int = 15
+) -> tuple[np.ndarray, np.ndarray]:
+    """Plain Lloyd's algorithm; returns (centroids, assignments)."""
+    n = points.shape[0]
+    k = min(k, n)
+    picks = rng.choice(n, size=k, replace=False)
+    centroids = points[picks].astype(np.float64)
+    assign = np.zeros(n, dtype=np.int64)
+    for _ in range(iters):
+        d2 = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        new_assign = d2.argmin(axis=1)
+        if (new_assign == assign).all():
+            assign = new_assign
+            break
+        assign = new_assign
+        for c in range(k):
+            members = points[assign == c]
+            if members.shape[0]:
+                centroids[c] = members.mean(axis=0)
+            else:  # re-seed an empty cluster on the farthest point
+                far = d2.min(axis=1).argmax()
+                centroids[c] = points[far]
+    return centroids, assign
+
+
+class HierarchicalKMeans(SpatialIndex):
+    """Hierarchical k-means tree with leaf buckets."""
+
+    def __init__(
+        self,
+        dataset_bits: np.ndarray,
+        branching: int = 8,
+        bucket_size: int = 512,
+        max_depth: int = 12,
+        seed: int | None = 0,
+    ):
+        super().__init__(dataset_bits)
+        if branching < 2:
+            raise ValueError("branching must be >= 2")
+        self.branching = int(branching)
+        self.bucket_size = int(bucket_size)
+        self.max_depth = int(max_depth)
+        self.traversal_distance_ops = 0  # distance calcs done by queries
+        self._nodes: list[_KMNode] = []
+        rng = np.random.default_rng(seed)
+        self._root = self._build(np.arange(self.n, dtype=np.int64), rng, 0)
+
+    def _build(self, idx: np.ndarray, rng: np.random.Generator, depth: int) -> int:
+        node_id = len(self._nodes)
+        self._nodes.append(_KMNode())
+        if idx.size <= self.bucket_size or depth >= self.max_depth:
+            self.buckets.append(np.sort(idx))
+            self._nodes[node_id].bucket = len(self.buckets) - 1
+            return node_id
+        pts = self.dataset[idx].astype(np.float64)
+        centroids, assign = _lloyd(pts, self.branching, rng)
+        if np.unique(assign).size < 2:  # degenerate: all points identical
+            self.buckets.append(np.sort(idx))
+            self._nodes[node_id].bucket = len(self.buckets) - 1
+            return node_id
+        self._nodes[node_id].centroids = centroids
+        for c in range(centroids.shape[0]):
+            members = idx[assign == c]
+            if members.size == 0:
+                self._nodes[node_id].children.append(-1)
+            else:
+                self._nodes[node_id].children.append(
+                    self._build(members, rng, depth + 1)
+                )
+        return node_id
+
+    def query_buckets(self, query_bits: np.ndarray) -> list[int]:
+        query_bits = np.asarray(query_bits, dtype=np.float64).ravel()
+        if query_bits.shape[0] != self.d:
+            raise ValueError(f"query has d={query_bits.shape[0]}, index d={self.d}")
+        node = self._nodes[self._root]
+        while node.bucket < 0:
+            d2 = ((node.centroids - query_bits) ** 2).sum(axis=1)
+            self.traversal_distance_ops += d2.shape[0]
+            order = np.argsort(d2)
+            nxt = -1
+            for c in order:  # nearest centroid with a live child
+                if node.children[c] >= 0:
+                    nxt = node.children[c]
+                    break
+            node = self._nodes[nxt]
+        return [node.bucket]
+
+    @property
+    def n_leaves(self) -> int:
+        return len(self.buckets)

@@ -1,0 +1,228 @@
+"""Analytic run-time models for every evaluated platform (Tables I/III/IV).
+
+The paper's evaluation mixes measured wall-clock (CPU/GPU), simulated
+cycle counts (AP, FPGA), and analytic projections (AP Gen 2, Opt+Ext).
+We reproduce the projections with the same modelling procedure, with
+per-platform constants calibrated against the published tables (the
+calibration residuals are recorded in EXPERIMENTS.md):
+
+* **CPU** (Xeon E5-2620, Cortex A15): linear scan is
+  ``t = q (c + n (a + b d))`` — a per-query overhead, a per-candidate
+  overhead, and a per-bit XOR/POPCOUNT cost; a and b back out of the
+  large-dataset rows of Table IV at better than 2 %.
+* **GPU** (Jetson TK1, Titan X): the paper observes GPU time is nearly
+  independent of ``d`` ("poor blocking of the binarized data" — the
+  1-bit-per-dimension codes make accesses latency-, not
+  bandwidth-bound), so ``t = q (c_d + n g)`` with a per-query launch
+  overhead ``c_d`` and a per-candidate constant ``g``.
+* **FPGA** (Kintex-7): the streaming accelerator is fully pipelined:
+  ``t = q (c_d + n d k_bit)`` with ``k_bit ≈ 6.7 ps per candidate bit``
+  (≈ 800 candidate bits per 185 MHz cycle across its parallel query
+  lanes).  The cycle-level simulator in :mod:`repro.baselines.fpga`
+  derives the same throughput from its microarchitecture.
+* **AP**: ``t = partitions × (t_reconfig + q d t_cycle)`` with one
+  symbol per 7.5 ns cycle.  Per-query time is ``d`` cycles, not the
+  full ``2d + L + 3`` block: the host drives non-blocking streams
+  (Section IV-B) and the sort phase of one query overlaps the Hamming
+  phase of the next board-resident query wave, so steady-state
+  throughput is one query per ``d`` symbols.  Single-partition (small
+  dataset) runs are preconfigured and pay no reconfiguration.  This
+  reproduces Table III/IV AP rows to three significant figures
+  (e.g. 1024 × (45 ms + 4096·64·7.5 ns) = 48.09 s vs the published
+  48.10 s for Gen 1 kNN-WordEmbed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ap.device import GEN1, GEN2, APDeviceSpec
+from ..workloads.params import WorkloadParams
+
+__all__ = [
+    "PlatformSpec",
+    "PLATFORMS",
+    "CPUModel",
+    "GPUModel",
+    "FPGAModel",
+    "APModel",
+    "XEON",
+    "CORTEX_A15",
+    "JETSON_TK1",
+    "TITAN_X",
+    "KINTEX7",
+    "AP_PLATFORM",
+    "XEON_MODEL",
+    "CORTEX_MODEL",
+    "JETSON_MODEL",
+    "TITANX_MODEL",
+    "KINTEX_MODEL",
+    "ap_gen1_model",
+    "ap_gen2_model",
+    "ap_opt_ext_model",
+]
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """One row of Table I plus the calibrated dynamic power.
+
+    ``dynamic_power_w`` is the load-minus-idle power the paper measures
+    with a meter; for the AP it depends on the active workload
+    (utilization), so :class:`APModel` carries its own table.
+    """
+
+    name: str
+    kind: str  # "CPU" | "GPU" | "FPGA" | "AP"
+    cores: int | None
+    process_nm: int
+    clock_mhz: float
+    dynamic_power_w: float
+
+
+XEON = PlatformSpec("Xeon E5-2620", "CPU", 6, 32, 2000, 52.5)
+CORTEX_A15 = PlatformSpec("Cortex A15", "CPU", 4, 28, 2300, 8.0)
+JETSON_TK1 = PlatformSpec("Jetson TK1", "GPU", 192, 28, 852, 1.2)
+TITAN_X = PlatformSpec("Titan X", "GPU", 3072, 28, 1075, 49.4)
+KINTEX7 = PlatformSpec("Kintex-7", "FPGA", None, 28, 185, 3.74)
+AP_PLATFORM = PlatformSpec("Automata Processor", "AP", 64, 50, 133, 21.0)
+
+PLATFORMS: dict[str, PlatformSpec] = {
+    p.name: p for p in (XEON, CORTEX_A15, JETSON_TK1, TITAN_X, KINTEX7, AP_PLATFORM)
+}
+
+
+@dataclass(frozen=True)
+class CPUModel:
+    """``t = q (c + n (a + b d))`` — FLANN-style multithreaded linear scan."""
+
+    platform: PlatformSpec
+    a_s: float  # per-candidate overhead (s)
+    b_s: float  # per-candidate-bit cost (s)
+    c_s: float  # per-query overhead (s)
+    threads: int = 1  # calibration already includes the platform's cores
+
+    def runtime_s(self, n: int, q: int, d: int) -> float:
+        return q * (self.c_s + n * (self.a_s + self.b_s * d))
+
+    def single_thread_runtime_s(self, n: int, q: int, d: int) -> float:
+        """Single-threaded variant (Table V's baseline normalization)."""
+        cores = self.platform.cores or 1
+        return self.runtime_s(n, q, d) * cores
+
+
+@dataclass(frozen=True)
+class GPUModel:
+    """``t = q (c_d + n g)`` — latency-bound batched xor/popcount kernel."""
+
+    platform: PlatformSpec
+    launch_overhead_s: dict[int, float]  # per-query overhead by dimensionality
+    default_overhead_s: float
+    per_candidate_s: float
+    per_candidate_bit_s: float = 0.0  # small d-dependence (Titan X)
+
+    def runtime_s(self, n: int, q: int, d: int) -> float:
+        c = self.launch_overhead_s.get(d, self.default_overhead_s)
+        g = self.per_candidate_s + self.per_candidate_bit_s * d
+        return q * (c + n * g)
+
+
+@dataclass(frozen=True)
+class FPGAModel:
+    """``t = q (c_d + n d k)`` — fully pipelined streaming accelerator."""
+
+    platform: PlatformSpec
+    per_bit_s: float
+    setup_overhead_s: dict[int, float]
+    default_setup_s: float
+
+    def runtime_s(self, n: int, q: int, d: int) -> float:
+        c = self.setup_overhead_s.get(d, self.default_setup_s)
+        return q * (c + n * d * self.per_bit_s)
+
+
+@dataclass(frozen=True)
+class APModel:
+    """AP run-time/energy model for any generation and optimization level.
+
+    ``speedup_factor`` folds in the compounded optimization/extension
+    gains of Table VIII (1.0 for the plain design); the corresponding
+    ``power_factor`` is the technology-scaling density penalty the paper
+    applies when projecting Opt+Ext energy (Section VII-D).
+    """
+
+    device: APDeviceSpec = GEN1
+    speedup_factor: float = 1.0
+    power_factor: float = 1.0
+    # Dynamic power calibrated per dimensionality from Table III energy
+    # rows (power grows with board utilization).
+    dynamic_power_w: dict = field(
+        default_factory=lambda: {64: 18.8, 128: 23.3, 256: 23.3}
+    )
+    default_power_w: float = 21.0
+
+    def runtime_s(
+        self, n: int, q: int, d: int, board_capacity: int
+    ) -> float:
+        partitions = -(-n // board_capacity)
+        per_partition = q * d * self.device.cycle_time_s
+        if partitions == 1:
+            total = per_partition  # preconfigured board, no reconfiguration
+        else:
+            total = partitions * (
+                self.device.reconfiguration_latency_s + per_partition
+            )
+        return total / self.speedup_factor
+
+    def power_w(self, d: int) -> float:
+        return self.dynamic_power_w.get(d, self.default_power_w) * self.power_factor
+
+    def runtime_for(self, workload: WorkloadParams, n: int, q: int) -> float:
+        return self.runtime_s(n, q, workload.d, workload.board_capacity)
+
+
+def ap_gen1_model() -> APModel:
+    return APModel(device=GEN1)
+
+
+def ap_gen2_model() -> APModel:
+    return APModel(device=GEN2)
+
+
+def ap_opt_ext_model(total_improvement: float, tech_scaling: float = 3.19) -> APModel:
+    """Opt+Ext projection: Gen 2 divided by the Table VIII compounded gain.
+
+    Energy efficiency improves by ``total_improvement / tech_scaling``
+    because the added compute density costs proportional power
+    (Section VII-D: ~73x performance but only ~23x energy).
+    """
+    return APModel(
+        device=GEN2,
+        speedup_factor=total_improvement,
+        power_factor=tech_scaling,
+    )
+
+
+# Calibrated instances (constants back-solved from Tables III and IV;
+# see the module docstring and EXPERIMENTS.md for the residuals).
+XEON_MODEL = CPUModel(XEON, a_s=1.51e-9, b_s=4.88e-11, c_s=0.95e-6)
+CORTEX_MODEL = CPUModel(CORTEX_A15, a_s=4.15e-9, b_s=3.32e-10, c_s=0.0)
+JETSON_MODEL = GPUModel(
+    JETSON_TK1,
+    launch_overhead_s={64: 26.8e-6, 128: 34.2e-6, 256: 37.2e-6},
+    default_overhead_s=33e-6,
+    per_candidate_s=3.82e-9,
+)
+TITANX_MODEL = GPUModel(
+    TITAN_X,
+    launch_overhead_s={},
+    default_overhead_s=2e-6,
+    per_candidate_s=2.28e-10,
+    per_candidate_bit_s=4.05e-14,
+)
+KINTEX_MODEL = FPGAModel(
+    KINTEX7,
+    per_bit_s=6.72e-12,
+    setup_overhead_s={64: 20e-9, 128: 40e-9, 256: 180e-9},
+    default_setup_s=50e-9,
+)

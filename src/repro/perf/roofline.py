@@ -1,0 +1,101 @@
+"""Data-movement analysis: the paper's Section I motivation, quantified.
+
+"kNN is memory bound in both CPUs and GPUs.  Distance calculations are
+relatively cheap and task parallel but moving feature vector data from
+memory to the compute device is a huge bottleneck.  Moreover, this data
+is used only once per kNN query and discarded, and the result of a kNN
+query is only a handful of identifiers."
+
+This module computes, per platform, the bytes that must cross the
+critical interface for one query batch:
+
+* **von Neumann** (CPU/GPU/FPGA): every candidate's packed code crosses
+  the memory interface once per batch (ideal blocking) — ``n·d/8``
+  bytes per pass — while the *useful output* is ``k`` identifiers.
+* **AP**: the dataset never moves after configuration; per query only
+  the query itself flows in (``d`` symbol bytes) and the reports flow
+  out (8 bytes each; ``n`` reports for the plain design, ``n/(p/k')``
+  with activation reduction, ``k``-ish with range/threshold filtering).
+
+The *data amplification* ratio — bytes moved per byte of useful result —
+is the figure of merit; the benchmark prints it for the paper's
+workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MovementProfile", "von_neumann_profile", "ap_profile"]
+
+
+@dataclass(frozen=True)
+class MovementProfile:
+    """Bytes over the critical interface for one query batch."""
+
+    label: str
+    bytes_in: float  # toward the compute (dataset or queries)
+    bytes_out: float  # results/reports back
+    useful_bytes: float  # k identifiers per query (the actual answer)
+
+    @property
+    def total_bytes(self) -> float:
+        return self.bytes_in + self.bytes_out
+
+    @property
+    def amplification(self) -> float:
+        """Bytes moved per byte of useful result (lower is better)."""
+        if self.useful_bytes == 0:
+            return float("inf")
+        return self.total_bytes / self.useful_bytes
+
+
+_ID_BYTES = 4  # a neighbor identifier
+_REPORT_BYTES = 8  # 32-bit ID + 32-bit offset (Section VI-C)
+
+
+def von_neumann_profile(
+    n: int, d: int, q: int, k: int, passes: float = 1.0, label: str = "CPU/GPU"
+) -> MovementProfile:
+    """Dataset streamed over the memory interface ``passes`` times.
+
+    ``passes = 1`` models perfect query batching (the FPGA accelerator
+    streams vectors "once per batch of queries"); unbatched designs pay
+    ``passes = q / batch``.
+    """
+    if min(n, d, q, k) < 1 or passes <= 0:
+        raise ValueError("all parameters must be positive")
+    dataset_bytes = n * d / 8 * passes
+    query_bytes = q * d / 8
+    return MovementProfile(
+        label=label,
+        bytes_in=dataset_bytes + query_bytes,
+        bytes_out=q * k * _ID_BYTES,
+        useful_bytes=q * k * _ID_BYTES,
+    )
+
+
+def ap_profile(
+    n: int,
+    d: int,
+    q: int,
+    k: int,
+    reports_per_query: float | None = None,
+    configurations: int = 1,
+    label: str = "AP",
+) -> MovementProfile:
+    """Near-data profile: queries in, reports out, dataset moved only at
+    (re)configuration time (counted as ``configurations`` dataset loads).
+    """
+    if min(n, d, q, k) < 1 or configurations < 0:
+        raise ValueError("all parameters must be positive")
+    if reports_per_query is None:
+        reports_per_query = float(n)  # the plain all-report design
+    config_bytes = configurations * n * d / 8
+    query_bytes = q * (d + 4)  # one 8-bit symbol per dimension + framing
+    return MovementProfile(
+        label=label,
+        bytes_in=config_bytes + query_bytes,
+        bytes_out=q * reports_per_query * _REPORT_BYTES,
+        useful_bytes=q * k * _ID_BYTES,
+    )

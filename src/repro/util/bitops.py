@@ -1,0 +1,140 @@
+"""Bit-level utilities for binary (Hamming-space) feature vectors.
+
+The paper's kNN design operates on binary codes: real-valued feature
+vectors are quantized offline (e.g. with ITQ, :mod:`repro.index.itq`)
+into ``d``-dimensional 0/1 vectors, and all distance computation is
+Hamming distance.  Two memory layouts are used throughout the library:
+
+* **unpacked**: ``uint8`` arrays of shape ``(n, d)`` holding one bit per
+  byte.  This is the layout the automata simulator consumes (each bit
+  becomes one input symbol).
+* **packed**: ``uint64`` arrays of shape ``(n, ceil(d / 64))`` holding 64
+  bits per word.  This is the layout the CPU/GPU baselines consume; a
+  Hamming distance is then XOR + POPCOUNT over words, exactly like the
+  FLANN and CUDA baselines in the paper (Section IV-C).
+
+All functions are vectorized NumPy; none of them allocate per-row
+Python objects, so they stay fast for the paper's ``n = 2**20`` large
+dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "pack_bits",
+    "unpack_bits",
+    "popcount_u64",
+    "hamming_distance_packed",
+    "hamming_distance_unpacked",
+    "hamming_cdist_packed",
+    "random_binary_vectors",
+]
+
+# 16-entry nibble popcount table expanded to all 2**16 half-words; built
+# once at import.  A uint16 lookup table keeps memory small (128 KiB)
+# while letting us popcount uint64 words in four table probes.
+_POPCOUNT16 = np.array(
+    [bin(i).count("1") for i in range(1 << 16)], dtype=np.uint8
+)
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack an unpacked ``(n, d)`` 0/1 array into ``(n, ceil(d/64))`` uint64.
+
+    Bit ``j`` of a row is stored in word ``j // 64`` at bit position
+    ``j % 64`` (little-endian within the word).  Trailing pad bits are
+    zero, so Hamming distances computed on packed words equal distances
+    on the unpacked rows.
+    """
+    bits = np.asarray(bits)
+    if bits.ndim == 1:
+        bits = bits[None, :]
+    if bits.ndim != 2:
+        raise ValueError(f"expected 1-D or 2-D bit array, got ndim={bits.ndim}")
+    if bits.size and not np.isin(bits, (0, 1)).all():
+        raise ValueError("bit array must contain only 0 and 1")
+    n, d = bits.shape
+    n_words = (d + 63) // 64
+    padded = np.zeros((n, n_words * 64), dtype=np.uint8)
+    padded[:, :d] = bits
+    # np.packbits packs most-significant-bit first per byte; request
+    # little-endian bit order so bit j lands at position j % 8.
+    as_bytes = np.packbits(padded, axis=1, bitorder="little")
+    return as_bytes.reshape(n, n_words, 8).view(np.uint64).reshape(n, n_words)
+
+
+def unpack_bits(words: np.ndarray, d: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`; returns a ``(n, d)`` uint8 array."""
+    words = np.asarray(words, dtype=np.uint64)
+    if words.ndim == 1:
+        words = words[None, :]
+    n, n_words = words.shape
+    if d > n_words * 64:
+        raise ValueError(f"d={d} exceeds capacity of {n_words} words")
+    as_bytes = words.view(np.uint8).reshape(n, n_words * 8)
+    bits = np.unpackbits(as_bytes, axis=1, bitorder="little")
+    return bits[:, :d].astype(np.uint8)
+
+
+def popcount_u64(words: np.ndarray) -> np.ndarray:
+    """Element-wise population count of a uint64 array (any shape)."""
+    words = np.asarray(words, dtype=np.uint64)
+    lo = (words & np.uint64(0xFFFF)).astype(np.intp)
+    m1 = ((words >> np.uint64(16)) & np.uint64(0xFFFF)).astype(np.intp)
+    m2 = ((words >> np.uint64(32)) & np.uint64(0xFFFF)).astype(np.intp)
+    hi = (words >> np.uint64(48)).astype(np.intp)
+    counts = (
+        _POPCOUNT16[lo].astype(np.int64)
+        + _POPCOUNT16[m1]
+        + _POPCOUNT16[m2]
+        + _POPCOUNT16[hi]
+    )
+    return counts
+
+
+def hamming_distance_packed(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise Hamming distance between packed arrays of equal shape."""
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return popcount_u64(a ^ b).sum(axis=-1)
+
+
+def hamming_distance_unpacked(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise Hamming distance between unpacked 0/1 arrays."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if a.shape[-1] != b.shape[-1]:
+        raise ValueError(f"dimension mismatch: {a.shape} vs {b.shape}")
+    return np.count_nonzero(a != b, axis=-1)
+
+
+def hamming_cdist_packed(queries: np.ndarray, dataset: np.ndarray) -> np.ndarray:
+    """All-pairs Hamming distances, ``(q, w) x (n, w) -> (q, n)`` int64.
+
+    This is the XOR/POPCOUNT inner loop of the CPU and GPU baselines.
+    Broadcasting produces a ``(q, n, w)`` intermediate; callers batching
+    over large ``n`` (the GPU baseline does) should tile queries.
+    """
+    queries = np.asarray(queries, dtype=np.uint64)
+    dataset = np.asarray(dataset, dtype=np.uint64)
+    if queries.ndim == 1:
+        queries = queries[None, :]
+    if queries.shape[-1] != dataset.shape[-1]:
+        raise ValueError(
+            f"word-count mismatch: {queries.shape} vs {dataset.shape}"
+        )
+    xored = queries[:, None, :] ^ dataset[None, :, :]
+    return popcount_u64(xored).sum(axis=-1)
+
+
+def random_binary_vectors(
+    n: int, d: int, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """Uniform random unpacked binary vectors of shape ``(n, d)``."""
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    return rng.integers(0, 2, size=(n, d), dtype=np.uint8)

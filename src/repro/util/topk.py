@@ -1,0 +1,111 @@
+"""Top-k selection utilities shared by all kNN back-ends.
+
+kNN result ordering convention used across the library: neighbors are
+sorted by ascending distance, ties broken by ascending dataset index.
+This matches the deterministic tie-break the AP's temporal sort needs a
+convention for (simultaneous reporting-state activations are resolved by
+state ID, which we assign in dataset order).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["topk_from_distances", "BoundedPriorityQueue", "merge_topk"]
+
+
+def topk_from_distances(distances: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(indices, distances)`` of the ``k`` smallest entries.
+
+    Deterministic: ties broken by ascending index (lexicographic argsort
+    on (distance, index)).  ``k`` is clipped to ``len(distances)``.
+    """
+    distances = np.asarray(distances)
+    if distances.ndim != 1:
+        raise ValueError("distances must be 1-D; use a loop or vectorized caller")
+    k = min(int(k), distances.shape[0])
+    if k <= 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=distances.dtype)
+    # argpartition finds the k-th distance, then ties at that boundary are
+    # resolved by ascending index over *all* candidates at or below it --
+    # a bare argpartition would keep an arbitrary subset of boundary ties.
+    part = np.argpartition(distances, k - 1)[:k]
+    kth = distances[part].max()
+    cand = np.nonzero(distances <= kth)[0]
+    order = np.lexsort((cand, distances[cand]))[:k]
+    idx = cand[order].astype(np.int64)
+    return idx, distances[idx]
+
+
+@dataclass(order=True)
+class _HeapEntry:
+    # Max-heap via negated sort key: largest (distance, index) at the top
+    # so it is evicted first.
+    neg_distance: float
+    neg_index: int
+
+
+class BoundedPriorityQueue:
+    """Fixed-capacity max-heap keeping the ``k`` smallest (distance, id) pairs.
+
+    This mirrors the *hardware priority queue* in the paper's FPGA
+    accelerator (Section IV-C) and the priority-queue insertion sort the
+    paper attributes to von-Neumann kNN (Section III-B).  Insertion is
+    O(log k); the final :meth:`sorted_items` is ascending by
+    (distance, id).
+    """
+
+    def __init__(self, k: int):
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = int(k)
+        self._heap: list[tuple[float, int]] = []  # (-distance, -id)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def worst_distance(self) -> float:
+        """Largest distance currently kept (inf while under capacity)."""
+        if len(self._heap) < self.k:
+            return float("inf")
+        return -self._heap[0][0]
+
+    def push(self, distance: float, index: int) -> bool:
+        """Offer an item; returns True if it was kept."""
+        entry = (-float(distance), -int(index))
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, entry)
+            return True
+        if entry > self._heap[0]:  # smaller (distance, id) than current worst
+            heapq.heapreplace(self._heap, entry)
+            return True
+        return False
+
+    def sorted_items(self) -> list[tuple[int, float]]:
+        """Return ``[(index, distance), ...]`` ascending by (distance, id)."""
+        items = [(-nd, -ni) for nd, ni in self._heap]
+        items.sort(key=lambda t: (t[0], t[1]))
+        return [(int(i), float(d)) for d, i in items]
+
+
+def merge_topk(
+    partials: list[tuple[np.ndarray, np.ndarray]], k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge per-partition top-k results into a global top-k.
+
+    This is the host-side merge the AP engine performs across board
+    reconfigurations (Section III-C): each partition contributes its own
+    ``(indices, distances)``; the global result is the k smallest overall
+    with the standard tie-break.
+    """
+    if not partials:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    all_idx = np.concatenate([np.asarray(i, dtype=np.int64) for i, _ in partials])
+    all_dist = np.concatenate([np.asarray(d) for _, d in partials])
+    order = np.lexsort((all_idx, all_dist))
+    order = order[: min(k, order.shape[0])]
+    return all_idx[order], all_dist[order]

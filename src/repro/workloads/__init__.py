@@ -1,0 +1,23 @@
+"""Workload registry (Table II) and synthetic dataset generators."""
+
+from .generators import (
+    clustered_binary,
+    gaussian_features,
+    queries_near_dataset,
+    uniform_binary,
+)
+from .params import LARGE_N, N_QUERIES, SIFT, TAGSPACE, WORDEMBED, WORKLOADS, WorkloadParams
+
+__all__ = [
+    "clustered_binary",
+    "gaussian_features",
+    "queries_near_dataset",
+    "uniform_binary",
+    "LARGE_N",
+    "N_QUERIES",
+    "SIFT",
+    "TAGSPACE",
+    "WORDEMBED",
+    "WORKLOADS",
+    "WorkloadParams",
+]

@@ -1,0 +1,88 @@
+"""Tests for counter chaining."""
+
+import numpy as np
+import pytest
+
+from repro.ap.chaining import (
+    ChainError,
+    build_chained_counter,
+    chain_report_delay,
+    factor_threshold,
+)
+from repro.automata.elements import STE, StartMode
+from repro.automata.network import AutomataNetwork
+from repro.automata.simulator import simulate
+from repro.automata.symbols import SymbolSet
+
+
+class TestFactorization:
+    def test_no_chain_when_it_fits(self):
+        assert factor_threshold(4095, 12) == (4095, 1)
+        assert factor_threshold(1, 12) == (1, 1)
+
+    def test_balanced_factorization(self):
+        a, b = factor_threshold(6000, 12)
+        assert a * b == 6000
+        assert max(a, b) <= 4095
+        assert max(a, b) <= 100  # 75 x 80 beats 2 x 3000
+
+    def test_prime_too_large_rejected(self):
+        with pytest.raises(ChainError, match="factorization"):
+            factor_threshold(4099, 12)  # prime > 4095
+
+    def test_bad_threshold(self):
+        with pytest.raises(ChainError):
+            factor_threshold(0, 12)
+
+
+def chain_harness(threshold: int, counter_bits: int, n_events: int):
+    """Build event-source -> chain -> reporter and count reports."""
+    net = AutomataNetwork("chain")
+    net.add_ste(STE("e", SymbolSet.single(ord("+")), start=StartMode.ALL_INPUT))
+    chain = build_chained_counter(net, "c_", threshold, counter_bits)
+    net.connect("e", chain.low, "count")
+    net.add_ste(STE("r", SymbolSet.wildcard(), reporting=True, report_code=1))
+    net.connect(chain.high, "r")
+    stream = b"+" * n_events + b"x" * 4
+    return chain, simulate(net, stream)
+
+
+class TestChainedExecution:
+    @pytest.mark.parametrize("threshold,bits", [(6, 2), (12, 3), (35, 3)])
+    def test_fires_exactly_at_product(self, threshold, bits):
+        chain, res = chain_harness(threshold, bits, threshold)
+        assert chain.effective_threshold == threshold
+        assert len(res.reports) == 1
+        _, res_under = chain_harness(threshold, bits, threshold - 1)
+        assert len(res_under.reports) == 0
+
+    def test_single_counter_path(self):
+        chain, res = chain_harness(5, 12, 5)
+        assert chain.low == chain.high and chain.b == 1
+        assert len(res.reports) == 1
+        assert chain_report_delay(chain) == 0
+
+    def test_chain_delay_reported(self):
+        chain, _ = chain_harness(6, 2, 6)
+        assert chain_report_delay(chain) == 1
+
+    def test_chain_latency_one_cycle_behind_wide_counter(self):
+        """A chained crossing reports exactly one cycle later than an
+        equivalent wide counter would."""
+        _, res_chain = chain_harness(6, 2, 10)
+        _, res_wide = chain_harness(6, 12, 10)
+        assert len(res_chain.reports) == len(res_wide.reports) == 1
+        assert res_chain.reports[0].cycle == res_wide.reports[0].cycle + 1
+
+    def test_compiles_on_narrow_device(self):
+        from repro.ap.compiler import APCompiler
+        from repro.ap.device import APDeviceSpec
+
+        net = AutomataNetwork("chain")
+        net.add_ste(STE("e", SymbolSet.single(ord("+")), start=StartMode.ALL_INPUT))
+        chain = build_chained_counter(net, "c_", 60, counter_bits=6)
+        net.connect("e", chain.low, "count")
+        net.add_ste(STE("r", SymbolSet.wildcard(), reporting=True, report_code=1))
+        net.connect(chain.high, "r")
+        narrow = APDeviceSpec(counter_bits=6)
+        APCompiler(device=narrow).compile(net)  # must not raise

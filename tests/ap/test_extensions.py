@@ -1,0 +1,163 @@
+"""Tests for the Section VII architectural extensions (E8, E9, E13)."""
+
+import numpy as np
+import pytest
+
+from repro.automata.network import AutomataNetwork
+from repro.automata.simulator import simulate
+from repro.automata.symbols import EOF, PAD, SOF, SymbolSet
+from repro.ap.extensions import (
+    bits_required,
+    build_comparison_macro,
+    build_counter_increment_macro,
+    compounded_gains,
+    counter_increment_speedup,
+    dimension_packed_stream,
+    ste_decomposition_savings,
+    ste_decomposition_table,
+)
+
+
+class TestCounterIncrement:
+    def test_speedup_factor(self):
+        assert counter_increment_speedup(7) == pytest.approx(1.75)
+        assert counter_increment_speedup(1) == pytest.approx(1.0)
+
+    def test_stream_packs_seven_dims(self):
+        q = np.array([1, 0, 1, 1, 0, 0, 1, 1], dtype=np.uint8)
+        stream = dimension_packed_stream(q, 7)
+        assert stream[0] == SOF and stream[-1] == EOF
+        assert stream[1] == 0b1001101  # dims 0..6, bit i = dim i
+        assert stream[2] == 0b0000001  # dim 7 in lane 0
+
+    def test_hamming_phase_shrinks(self):
+        net = AutomataNetwork("ci")
+        v = np.ones(21, dtype=np.uint8)
+        h = build_counter_increment_macro(net, v, 0, "x_", 7)
+        assert h["hamming_cycles"] == 3  # ceil(21/7) symbols
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_distance_exact_with_extension(self, seed):
+        rng = np.random.default_rng(seed)
+        d = 14
+        v = rng.integers(0, 2, d, dtype=np.uint8)
+        q = rng.integers(0, 2, d, dtype=np.uint8)
+        m_true = int((v == q).sum())
+        net = AutomataNetwork("ci")
+        build_counter_increment_macro(net, v, 0, "x_", 7, extension_enabled=True)
+        stream = dimension_packed_stream(q, 7)
+        res = simulate(net, stream)
+        assert len(res.reports) == 1
+        n_groups = 2
+        # report offset encodes m: crossing at count == d during sort.
+        report_cycle = res.reports[0].cycle
+        expected = n_groups + 1 + (d - m_true) + 1
+        assert report_cycle == expected
+
+    def test_undercounts_without_extension(self):
+        """Plain +1 counters lose parallel increments: the distance is
+        systematically overestimated, which is the extension's argument."""
+        v = np.ones(14, dtype=np.uint8)
+        q = np.ones(14, dtype=np.uint8)  # m = 14
+        results = {}
+        for ext in (True, False):
+            net = AutomataNetwork("ci")
+            build_counter_increment_macro(net, v, 0, "x_", 7, extension_enabled=ext)
+            res = simulate(net, dimension_packed_stream(q, 7), record_trace=True)
+            results[ext] = res.counter_trace[:, 0].max()
+        assert results[True] > results[False]
+
+
+class TestComparisonMacro:
+    @pytest.mark.parametrize(
+        "a,b,expect",
+        [(5, 2, True), (2, 3, False), (3, 3, False), (4, 3, True),
+         (0, 0, False), (1, 0, True), (0, 5, False)],
+    )
+    def test_strict_greater(self, a, b, expect):
+        net = AutomataNetwork("cmp")
+        build_comparison_macro(net, "c_", 9, ord("a"), ord("b"), ord("?"))
+        stream = b"a" * a + b"b" * b + b"?" + b"xxx"
+        res = simulate(net, stream)
+        assert bool(res.reports) == expect, (a, b)
+
+    def test_reports_carry_code(self):
+        net = AutomataNetwork("cmp")
+        build_comparison_macro(net, "c_", 42, ord("a"), ord("b"), ord("?"))
+        res = simulate(net, b"aa?xxx")
+        assert res.reports[0].code == 42
+
+
+class TestBitsRequired:
+    ALPHABET = [0, 1, PAD, SOF, EOF]
+
+    def test_wildcard_needs_zero(self):
+        assert bits_required(SymbolSet.wildcard(), self.ALPHABET) == 0
+
+    def test_match_state_needs_two(self):
+        # distinguishing 0x01 from {0x00, PAD, SOF, EOF}: bits 0 and 7.
+        assert bits_required(SymbolSet.single(1), self.ALPHABET) == 2
+
+    def test_control_states_small(self):
+        for v in (SOF, EOF):
+            b = bits_required(SymbolSet.single(v), self.ALPHABET)
+            assert 1 <= b <= 3
+
+    def test_full_alphabet_single(self):
+        # over the full 256-symbol alphabet a single value needs all 8 bits
+        assert bits_required(SymbolSet.single(7), list(range(256))) == 8
+
+
+class TestDecompositionModel:
+    def test_factor_one_is_identity(self):
+        assert ste_decomposition_savings(64, 1) == 1.0
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            ste_decomposition_savings(64, 3)
+
+    @pytest.mark.parametrize(
+        "d,x,paper",
+        [
+            (64, 2, 1.98), (64, 8, 7.38), (64, 32, 23.34),
+            (128, 2, 1.99), (128, 8, 7.67), (128, 32, 27.00),
+            (256, 4, 3.96), (256, 16, 15.31), (256, 32, 29.26),
+        ],
+    )
+    def test_table7_within_tolerance(self, d, x, paper):
+        assert ste_decomposition_savings(d, x) == pytest.approx(paper, rel=0.08)
+
+    def test_savings_below_theoretical(self):
+        for d in (64, 128, 256):
+            for x in (2, 4, 8, 16, 32):
+                s = ste_decomposition_savings(d, x)
+                assert 1.0 < s < x + 1e-9
+
+    def test_table_structure(self):
+        table = ste_decomposition_table()
+        assert set(table) == {64, 128, 256}
+        for row in table.values():
+            vals = [row[x] for x in (1, 2, 4, 8, 16, 32)]
+            assert vals == sorted(vals)
+
+
+class TestCompoundedGains:
+    @pytest.mark.parametrize(
+        "d,paper_total",
+        [(64, 63.14), (128, 71.96), (256, 73.17)],
+    )
+    def test_table8_totals(self, d, paper_total):
+        g = compounded_gains(d)
+        assert g.total == pytest.approx(paper_total, rel=0.20)
+
+    def test_component_factors(self):
+        g = compounded_gains(128)
+        assert g.technology_scaling == pytest.approx(3.19, abs=0.01)
+        assert g.counter_increment == pytest.approx(1.75)
+        assert 2.5 < g.vector_packing < 4.0
+        assert 3.5 < g.ste_decomposition < 4.2
+
+    def test_energy_improvement_matches_paper_23x(self):
+        """Section VII-D: perf ~73x but energy only ~23x."""
+        g = compounded_gains(256)
+        assert g.energy_improvement == pytest.approx(23.0, rel=0.15)

@@ -1,0 +1,46 @@
+"""Tests for DOT export and network summaries."""
+
+import numpy as np
+import pytest
+
+from repro.ap.visualize import summarize, to_dot
+from repro.automata.regex import compile_regex
+from repro.core.macros import build_knn_network
+from repro.core.reduction import build_reduced_network
+
+
+class TestDot:
+    def test_macro_renders(self):
+        net, _ = build_knn_network(np.array([[1, 0, 1]], dtype=np.uint8))
+        dot = to_dot(net)
+        assert dot.startswith("digraph")
+        assert dot.count("->") == len(net.edges)
+        assert "report 0" in dot
+        assert "peripheries=2" in dot  # the start/guard state
+        assert 'label="count"' in dot and 'label="reset"' in dot
+
+    def test_boolean_rendering(self):
+        net, _ = build_reduced_network(
+            np.zeros((4, 4), dtype=np.uint8) ^ np.eye(4, dtype=np.uint8).astype(np.uint8),
+            k_prime=2, group_size=4,
+        )
+        dot = to_dot(net)
+        assert "shape=diamond" in dot  # the AND/NOT suppression gates
+
+    def test_size_cap(self):
+        net, _ = build_knn_network(np.zeros((200, 32), dtype=np.uint8))
+        with pytest.raises(ValueError, match="capped"):
+            to_dot(net)
+
+    def test_quote_escaping(self):
+        net = compile_regex('a"b')
+        dot = to_dot(net)
+        assert '\\"' in dot
+
+
+class TestSummary:
+    def test_fields_present(self):
+        net, _ = build_knn_network(np.zeros((3, 8), dtype=np.uint8))
+        text = summarize(net)
+        assert "STEs=" in text and "NFAs (components)=3" in text
+        assert "reporting=3" in text

@@ -1,0 +1,134 @@
+"""Tests for ANML serialization round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.automata.anml import AnmlError, parse_anml, to_anml
+from repro.automata.elements import (
+    STE,
+    BooleanElement,
+    BooleanOp,
+    Counter,
+    CounterMode,
+    StartMode,
+)
+from repro.automata.network import AutomataNetwork
+from repro.automata.simulator import simulate
+from repro.automata.symbols import SymbolSet
+
+
+def full_featured_network() -> AutomataNetwork:
+    net = AutomataNetwork("full")
+    net.add_ste(STE("s0", SymbolSet.single(ord("a")), start=StartMode.ALL_INPUT))
+    net.add_ste(STE("s1", SymbolSet.from_values([1, 2, 3]), start=StartMode.START_OF_DATA))
+    net.add_ste(STE("rep", SymbolSet.wildcard(), reporting=True, report_code=42))
+    net.add_counter(
+        Counter("cB", threshold=7, mode=CounterMode.LATCH, max_increment=4)
+    )
+    net.add_counter(
+        Counter("cA", threshold=3, mode=CounterMode.ROLL, threshold_source="cB")
+    )
+    net.add_boolean(BooleanElement("g", BooleanOp.NAND))
+    net.connect("s0", "s1")
+    net.connect("s0", "cA", "count")
+    net.connect("s1", "cB", "count")
+    net.connect("s1", "cB", "reset")
+    net.connect("cA", "rep")
+    net.connect("s0", "g")
+    net.connect("s1", "g")
+    net.connect("cB", "cA", "threshold")
+    return net
+
+
+class TestRoundTrip:
+    def test_elements_preserved(self):
+        net = full_featured_network()
+        net2 = parse_anml(to_anml(net))
+        assert set(net2.elements) == set(net.elements)
+        s1 = net2.elements["s1"]
+        assert s1.start is StartMode.START_OF_DATA
+        assert s1.symbols.values() == [1, 2, 3]
+        cA = net2.elements["cA"]
+        assert cA.mode is CounterMode.ROLL and cA.threshold_source == "cB"
+        cB = net2.elements["cB"]
+        assert cB.max_increment == 4 and cB.mode is CounterMode.LATCH
+        assert net2.elements["g"].op is BooleanOp.NAND
+        rep = net2.elements["rep"]
+        assert rep.reporting and rep.report_code == 42
+
+    def test_edges_preserved(self):
+        net = full_featured_network()
+        net2 = parse_anml(to_anml(net))
+        key = lambda n: sorted((e.src, e.dst, e.port) for e in n.edges)
+        assert key(net2) == key(net)
+
+    def test_simulation_equivalent(self):
+        net = AutomataNetwork("sim")
+        net.add_ste(STE("a", SymbolSet.single(ord("a")), start=StartMode.ALL_INPUT))
+        net.add_counter(Counter("c", threshold=2))
+        net.add_ste(STE("r", SymbolSet.wildcard(), reporting=True, report_code=5))
+        net.connect("a", "c", "count")
+        net.connect("c", "r")
+        net2 = parse_anml(to_anml(net))
+        stream = b"aaxaax"
+        r1 = [(r.code, r.cycle) for r in simulate(net, stream).reports]
+        r2 = [(r.code, r.cycle) for r in simulate(net2, stream).reports]
+        assert r1 == r2 and r1
+
+    def test_knn_macro_round_trip(self):
+        from repro.core.macros import build_knn_network
+        from repro.core.stream import StreamLayout, encode_query
+
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 2, (3, 8), dtype=np.uint8)
+        q = rng.integers(0, 2, 8, dtype=np.uint8)
+        net, handles = build_knn_network(data)
+        net2 = parse_anml(to_anml(net))
+        lay = StreamLayout(8, handles[0].collector_depth)
+        r1 = [(r.code, r.cycle) for r in simulate(net, encode_query(q, lay)).reports]
+        r2 = [(r.code, r.cycle) for r in simulate(net2, encode_query(q, lay)).reports]
+        assert sorted(r1) == sorted(r2) and len(r1) == 3
+
+
+class TestErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(AnmlError, match="malformed"):
+            parse_anml("<automata-network><state-transition")
+
+    def test_wrong_root(self):
+        with pytest.raises(AnmlError, match="expected"):
+            parse_anml("<blah/>")
+
+    def test_missing_id(self):
+        with pytest.raises(AnmlError, match="missing id"):
+            parse_anml("<automata-network><counter target='1'/></automata-network>")
+
+    def test_missing_symbol_set(self):
+        with pytest.raises(AnmlError, match="missing symbol-set"):
+            parse_anml(
+                "<automata-network>"
+                "<state-transition-element id='x'/>"
+                "</automata-network>"
+            )
+
+    def test_reporting_without_code(self):
+        with pytest.raises(AnmlError, match="report-code"):
+            parse_anml(
+                "<automata-network>"
+                "<state-transition-element id='x' symbol-set='a' reporting='true'/>"
+                "</automata-network>"
+            )
+
+    def test_unknown_element(self):
+        with pytest.raises(AnmlError, match="unknown ANML element"):
+            parse_anml("<automata-network><widget id='w'/></automata-network>")
+
+    def test_unknown_child(self):
+        with pytest.raises(AnmlError, match="unknown child"):
+            parse_anml(
+                "<automata-network>"
+                "<state-transition-element id='x' symbol-set='a'>"
+                "<teleport element='y'/>"
+                "</state-transition-element>"
+                "</automata-network>"
+            )

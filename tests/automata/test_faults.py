@@ -1,0 +1,126 @@
+"""Failure-injection tests: how the kNN design degrades under faults."""
+
+import numpy as np
+import pytest
+
+from repro.automata.faults import (
+    corrupt_stream,
+    drop_reports,
+    inject_stuck_ste,
+    missing_report_codes,
+)
+from repro.automata.simulator import CompiledSimulator
+from repro.core.macros import build_knn_network
+from repro.core.stream import StreamLayout, decode_report_offset, encode_query, encode_query_batch
+
+
+@pytest.fixture
+def board(rng):
+    data = rng.integers(0, 2, (6, 10), dtype=np.uint8)
+    net, handles = build_knn_network(data)
+    layout = StreamLayout(10, handles[0].collector_depth)
+    return data, net, handles, layout
+
+
+def decoded_distances(net, layout, query):
+    res = CompiledSimulator(net).run(encode_query(query, layout))
+    return {r.code: decode_report_offset(r.cycle, layout)[2] for r in res.reports}
+
+
+class TestStuckSTE:
+    def test_stuck_inactive_match_biases_one_vector_by_one(self, board, rng):
+        data, net, handles, layout = board
+        query = data[2].copy()  # exact match for vector 2
+        baseline = decoded_distances(net, layout, query)
+        assert baseline[2] == 0
+        # break a matching dimension of vector 2's macro
+        dim = int(np.argmax(data[2] == query))
+        faulty = inject_stuck_ste(net, handles[2].matches[dim], "inactive")
+        got = decoded_distances(faulty, layout, query)
+        assert got[2] == baseline[2] + 1  # exactly one lost match
+        for v in (0, 1, 3, 4, 5):
+            assert got[v] == baseline[v]  # other macros untouched
+
+    def test_stuck_active_match_can_only_reduce_distance(self, board, rng):
+        data, net, handles, layout = board
+        query = 1 - data[3]  # worst-case query for vector 3
+        baseline = decoded_distances(net, layout, query)
+        faulty = inject_stuck_ste(net, handles[3].matches[0], "active")
+        got = decoded_distances(faulty, layout, query)
+        assert got[3] == baseline[3] - 1
+        assert all(got[v] == baseline[v] for v in (0, 1, 2, 4, 5))
+
+    def test_stuck_guard_silences_whole_macro(self, board, rng):
+        data, net, handles, layout = board
+        faulty = inject_stuck_ste(net, handles[0].guard, "inactive")
+        got = decoded_distances(faulty, layout, data[0])
+        assert 0 not in got and len(got) == 5
+
+    def test_validation(self, board):
+        _, net, handles, _ = board
+        with pytest.raises(KeyError):
+            inject_stuck_ste(net, "nope")
+        with pytest.raises(ValueError, match="stuck mode"):
+            inject_stuck_ste(net, handles[0].guard, "wobbly")
+        with pytest.raises(ValueError, match="not an STE"):
+            inject_stuck_ste(net, handles[0].counter, "inactive")
+
+
+class TestStreamCorruption:
+    def test_control_symbols_spared(self, board, rng):
+        _, _, _, layout = board
+        stream = encode_query(np.zeros(10, dtype=np.uint8), layout)
+        bad = corrupt_stream(stream, 1.0, rng)
+        assert bad[0] == stream[0] and bad[-1] == stream[-1]  # SOF/EOF intact
+        assert (bad[1:11] == 1).all()  # every data bit flipped
+
+    def test_distance_error_bounded_by_flips(self, board, rng):
+        data, net, _, layout = board
+        query = data[1].copy()
+        stream = encode_query(query, layout)
+        bad = corrupt_stream(stream, 0.3, rng)
+        n_flips = int((bad != stream).sum())
+        res = CompiledSimulator(net).run(bad)
+        got = {r.code: decode_report_offset(r.cycle, layout)[2] for r in res.reports}
+        true = np.abs(data.astype(int) - query.astype(int)).sum(axis=1)
+        for v in range(6):
+            assert abs(got[v] - true[v]) <= n_flips
+
+    def test_zero_prob_identity(self, board, rng):
+        _, _, _, layout = board
+        stream = encode_query(np.ones(10, dtype=np.uint8), layout)
+        assert (corrupt_stream(stream, 0.0, rng) == stream).all()
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            corrupt_stream(np.zeros(4, dtype=np.uint8), 1.5, rng)
+
+
+class TestReportLoss:
+    def test_host_detects_missing_codes(self, board, rng):
+        data, net, _, layout = board
+        queries = rng.integers(0, 2, (3, 10), dtype=np.uint8)
+        res = CompiledSimulator(net).run(encode_query_batch(queries, layout))
+        dropped = drop_reports(res.reports, 0.4, rng)
+        assert len(dropped) < len(res.reports)
+        missing = missing_report_codes(
+            dropped, range(6), layout.block_length, 3
+        )
+        # recompute which (block, code) pairs were dropped and cross-check
+        surviving = {(r.cycle // layout.block_length, r.code) for r in dropped}
+        for b in range(3):
+            expected_missing = sorted(
+                c for c in range(6) if (b, c) not in surviving
+            )
+            assert missing.get(b, []) == expected_missing
+
+    def test_no_loss_no_alarm(self, board, rng):
+        data, net, _, layout = board
+        q = rng.integers(0, 2, (2, 10), dtype=np.uint8)
+        res = CompiledSimulator(net).run(encode_query_batch(q, layout))
+        assert missing_report_codes(res.reports, range(6),
+                                    layout.block_length, 2) == {}
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            drop_reports([], -0.1, rng)

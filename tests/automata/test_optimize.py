@@ -1,0 +1,127 @@
+"""Tests for the NFA optimization passes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.elements import STE, StartMode
+from repro.automata.network import AutomataNetwork
+from repro.automata.optimize import merge_prefix_states, optimize, remove_unreachable
+from repro.automata.regex import compile_regex
+from repro.automata.simulator import CompiledSimulator, simulate
+from repro.automata.symbols import SymbolSet
+from repro.core.macros import build_knn_network
+from repro.core.stream import StreamLayout, encode_query_batch
+
+
+def reports_of(net, stream):
+    return sorted((r.cycle, r.code) for r in simulate(net, stream).reports)
+
+
+class TestPrefixMerge:
+    def test_merges_identical_branches(self):
+        net = AutomataNetwork("t")
+        net.add_ste(STE("s", SymbolSet.single(ord("s")), start=StartMode.ALL_INPUT))
+        for b in ("x", "y"):
+            net.add_ste(STE(f"{b}a", SymbolSet.single(ord("a"))))
+            net.add_ste(STE(f"{b}end", SymbolSet.single(ord(b)),
+                            reporting=True, report_code=ord(b)))
+            net.connect("s", f"{b}a")
+            net.connect(f"{b}a", f"{b}end")
+        merged, n = merge_prefix_states(net)
+        assert n == 1  # the two 'a' states collapse
+        stream = b"saxsay"
+        assert reports_of(net, stream) == reports_of(merged, stream)
+
+    def test_keeps_reporting_states_apart(self):
+        net = AutomataNetwork("t")
+        net.add_ste(STE("a", SymbolSet.single(ord("a")), start=StartMode.ALL_INPUT,
+                        reporting=True, report_code=1))
+        net.add_ste(STE("b", SymbolSet.single(ord("a")), start=StartMode.ALL_INPUT,
+                        reporting=True, report_code=2))
+        merged, n = merge_prefix_states(net)
+        assert n == 0
+
+    def test_keeps_self_loops(self):
+        net = AutomataNetwork("t")
+        net.add_ste(STE("s", SymbolSet.single(ord("s")), start=StartMode.ALL_INPUT))
+        net.add_ste(STE("l1", SymbolSet.wildcard()))
+        net.add_ste(STE("l2", SymbolSet.wildcard()))
+        net.connect("s", "l1")
+        net.connect("s", "l2")
+        net.connect("l1", "l1")  # self-loop: enable depends on own history
+        merged, n = merge_prefix_states(net)
+        assert n == 0
+
+    def test_counter_drivers_not_merged(self):
+        from repro.automata.elements import Counter
+
+        net = AutomataNetwork("t")
+        net.add_ste(STE("s", SymbolSet.single(ord("s")), start=StartMode.ALL_INPUT))
+        net.add_ste(STE("d1", SymbolSet.wildcard()))
+        net.add_ste(STE("d2", SymbolSet.wildcard()))
+        net.add_counter(Counter("c", threshold=2))
+        net.add_ste(STE("r", SymbolSet.wildcard(), reporting=True, report_code=0))
+        net.connect("s", "d1")
+        net.connect("s", "d2")
+        net.connect("d1", "c", "count")
+        net.connect("d2", "c", "count")
+        net.connect("c", "r")
+        merged, n = merge_prefix_states(net)
+        # merging d1/d2 would halve the increment; must not happen
+        assert n == 0
+
+
+class TestRemoveUnreachable:
+    def test_drops_islands(self):
+        net = AutomataNetwork("t")
+        net.add_ste(STE("s", SymbolSet.wildcard(), start=StartMode.ALL_INPUT))
+        net.add_ste(STE("island", SymbolSet.wildcard()))
+        cleaned, n = remove_unreachable(net)
+        assert n == 1 and "island" not in cleaned.elements
+        cleaned.validate()
+
+
+class TestOptimizePipeline:
+    def test_knn_board_behaviour_preserved(self):
+        rng = np.random.default_rng(5)
+        data = rng.integers(0, 2, (10, 12), dtype=np.uint8)
+        queries = rng.integers(0, 2, (3, 12), dtype=np.uint8)
+        net, hs = build_knn_network(data)
+        opt, stats = optimize(net)
+        opt.validate()
+        assert stats.ste_savings > 2.0  # shared skeleton discovered
+        lay = StreamLayout(12, hs[0].collector_depth)
+        stream = encode_query_batch(queries, lay)
+        r1 = sorted((r.cycle, r.code) for r in CompiledSimulator(net).run(stream).reports)
+        r2 = sorted((r.cycle, r.code) for r in CompiledSimulator(opt).run(stream).reports)
+        assert r1 == r2
+
+    def test_discovers_packing_like_sharing(self):
+        """Prefix merging rediscovers the Fig. 5 ladder: savings of the
+        optimizer should be at least the hand-packed analytical gain."""
+        from repro.core.packing import packing_savings
+
+        rng = np.random.default_rng(6)
+        data = rng.integers(0, 2, (16, 32), dtype=np.uint8)
+        net, _ = build_knn_network(data)
+        _, stats = optimize(net)
+        assert stats.ste_savings >= packing_savings(32, 4) * 0.8
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=12, deadline=None)
+    def test_regex_behaviour_preserved_property(self, seed):
+        rng = np.random.default_rng(seed)
+        patterns = ["(ab|ac)+x", "a(b|c)(b|c)d", "ab{1,3}c", "x[ab]y|x[ac]z"]
+        pattern = patterns[seed % len(patterns)]
+        text = "".join(rng.choice(list("abcdxyz"), size=30))
+        net = compile_regex(pattern)
+        opt, _ = optimize(net)
+        assert reports_of(net, text.encode()) == reports_of(opt, text.encode())
+
+    def test_stats_fields(self):
+        net = compile_regex("a(b|b)c")
+        opt, stats = optimize(net)
+        assert stats.stes_before == 4 and stats.stes_after == 3
+        assert stats.rounds >= 1

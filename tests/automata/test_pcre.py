@@ -1,0 +1,79 @@
+"""Tests for the mini-PCRE character-class codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata import pcre
+from repro.automata.symbols import SymbolSet
+
+
+class TestParse:
+    def test_wildcard(self):
+        assert pcre.parse("*").is_wildcard()
+        assert pcre.parse(".").is_wildcard()
+
+    def test_single_char(self):
+        assert pcre.parse("a").values() == [ord("a")]
+
+    def test_hex_escape(self):
+        assert pcre.parse("\\xfe").values() == [0xFE]
+
+    def test_named_escapes(self):
+        assert pcre.parse("\\n").values() == [10]
+        assert pcre.parse("\\t").values() == [9]
+        assert pcre.parse("\\\\").values() == [92]
+
+    def test_class_with_range(self):
+        assert pcre.parse("[a-c]").values() == [97, 98, 99]
+
+    def test_class_mixed(self):
+        assert pcre.parse("[ax-z\\x00]").values() == [0, 97, 120, 121, 122]
+
+    def test_negated_class(self):
+        s = pcre.parse("[^\\xff]")
+        assert s.cardinality() == 255 and not s.matches(255)
+
+    def test_ternary_passthrough(self):
+        assert pcre.parse("0b*******0").cardinality() == 128
+
+    def test_errors(self):
+        for bad in ("", "ab", "[a", "\\", "\\q", "\\x4", "[z-a]"):
+            with pytest.raises(pcre.PcreError):
+                pcre.parse(bad)
+
+
+class TestRender:
+    def test_wildcard(self):
+        assert pcre.render(SymbolSet.wildcard()) == "*"
+
+    def test_single_printable(self):
+        assert pcre.render(SymbolSet.single(ord("a"))) == "a"
+
+    def test_single_unprintable(self):
+        assert pcre.render(SymbolSet.single(0)) == "\\x00"
+
+    def test_range_compression(self):
+        assert pcre.render(SymbolSet.from_values(range(97, 103))) == "[a-f]"
+
+    def test_large_sets_render_negated(self):
+        s = SymbolSet.negated_single(0xFF)
+        assert pcre.render(s) == "[^\\xff]"
+
+    def test_empty_set(self):
+        rendered = pcre.render(SymbolSet.empty())
+        assert pcre.parse(rendered).cardinality() == 0
+
+
+class TestRoundTrip:
+    @given(st.sets(st.integers(0, 255), max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_render_parse_identity(self, values):
+        s = SymbolSet.from_values(values)
+        assert pcre.parse(pcre.render(s)).mask == s.mask
+
+    @given(st.integers(0, 255))
+    @settings(max_examples=30, deadline=None)
+    def test_negated_round_trip(self, v):
+        s = SymbolSet.negated_single(v)
+        assert pcre.parse(pcre.render(s)).mask == s.mask

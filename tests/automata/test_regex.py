@@ -1,0 +1,121 @@
+"""Tests for the PCRE -> homogeneous NFA compiler."""
+
+import re as pyre
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.network import AutomataNetwork
+from repro.automata.regex import RegexError, compile_regex, parse_regex
+from repro.automata.simulator import simulate
+
+
+def match_ends(pattern: str, text: str) -> set[int]:
+    """Oracle: offsets where some match of ``pattern`` ends (inclusive)."""
+    rx = pyre.compile(pattern)
+    ends = set()
+    for i in range(len(text)):
+        for j in range(i, len(text)):
+            if rx.fullmatch(text, i, j + 1):
+                ends.add(j)
+    return ends
+
+
+def ap_match_ends(pattern: str, text: str, anchored: bool = False) -> set[int]:
+    net = compile_regex(pattern, anchored=anchored)
+    return {r.cycle for r in simulate(net, text.encode()).reports}
+
+
+class TestParser:
+    def test_literal_chain(self):
+        ast = parse_regex("abc")
+        assert ast.kind == "cat" and len(ast.children) == 3
+
+    def test_precedence(self):
+        ast = parse_regex("ab|c")
+        assert ast.kind == "alt"
+        assert ast.children[0].kind == "cat"
+
+    def test_quantifier_binds_tight(self):
+        ast = parse_regex("ab*")
+        assert ast.kind == "cat"
+        assert ast.children[1].kind == "star"
+
+    def test_bounded_expansion(self):
+        assert ap_match_ends("a{3}", "aaaa") == match_ends("a{3}", "aaaa")
+        assert ap_match_ends("a{2,}", "aaaa") == match_ends("a{2,}", "aaaa")
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "(", ")", "(a", "a)", "*", "a{", "a{x}", "a{3,2}", "a{9999}",
+         "[a", "a\\"],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(RegexError):
+            parse_regex(bad)
+
+    def test_nullable_rejected(self):
+        for pat in ("a*", "a?", "(ab)*", "a{0,3}", "x*|y*"):
+            with pytest.raises(RegexError, match="empty string"):
+                compile_regex(pat)
+
+
+class TestCompilation:
+    @pytest.mark.parametrize(
+        "pattern,text",
+        [
+            ("ab", "xababb"),
+            ("a+b", "aaabxab"),
+            ("a*b", "baab"),
+            ("(ab|cd)+", "abcdabx"),
+            ("a?b?c", "abcacbc"),
+            ("[a-c]x", "axbxcxdx"),
+            ("[^a]b", "abxbbb"),
+            ("a.c", "abcazcac"),
+            ("x(a|bb){1,2}y", "xaybbyxbbay"),
+            ("colou?r", "color colour colr"),
+        ],
+    )
+    def test_matches_python_re(self, pattern, text):
+        assert ap_match_ends(pattern, text) == match_ends(pattern, text)
+
+    def test_anchored(self):
+        assert ap_match_ends("ab", "abab", anchored=True) == {1}
+        assert ap_match_ends("a+", "aaa", anchored=True) == {0, 1, 2}
+
+    def test_homogeneous_one_state_per_position(self):
+        net = compile_regex("a(b|c)d")
+        assert len(net.stes()) == 4  # a, b, c, d occurrences
+        net.validate()
+
+    def test_co_compilation_on_one_board(self):
+        net = AutomataNetwork("multi")
+        compile_regex("ab", report_code=1, prefix="r1_", network=net)
+        compile_regex("bc", report_code=2, prefix="r2_", network=net)
+        net.validate()
+        res = simulate(net, b"abc")
+        assert sorted((r.cycle, r.code) for r in res.reports) == [(1, 1), (2, 2)]
+
+    def test_report_codes_shared_within_pattern(self):
+        net = compile_regex("ab|cd", report_code=9)
+        codes = {e.report_code for e in net.reporting_elements()}
+        assert codes == {9}
+        net.validate()  # duplicates within one NFA are legal
+
+    @given(st.text(alphabet="abc", min_size=1, max_size=24),
+           st.integers(0, 9))
+    @settings(max_examples=30, deadline=None)
+    def test_random_streams_property(self, text, pick):
+        patterns = ["ab", "a+c", "(ab|ca)+", "a[bc]{1,2}", "c(a|b)c",
+                    "ab?c", "b{2,3}", "a.b", "[ab]+c", "abc|cba"]
+        pattern = patterns[pick]
+        assert ap_match_ends(pattern, text) == match_ends(pattern, text)
+
+    def test_compiles_onto_device(self):
+        """A compiled regex must place on the AP like any other network."""
+        from repro.ap.compiler import APCompiler
+
+        net = compile_regex("(ab|cd){1,4}x")
+        report = APCompiler().compile(net)
+        assert report.fits and report.n_components == 1

@@ -1,0 +1,274 @@
+"""Tests for the cycle-accurate simulator: STE, counter, boolean semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.elements import (
+    STE,
+    BooleanElement,
+    BooleanOp,
+    Counter,
+    CounterMode,
+    StartMode,
+)
+from repro.automata.network import AutomataNetwork
+from repro.automata.simulator import CompiledSimulator, simulate
+from repro.automata.symbols import SymbolSet
+
+
+def make_literal_matcher(pattern: str) -> AutomataNetwork:
+    """NFA accepting the literal ``pattern`` anywhere in the stream."""
+    net = AutomataNetwork(f"lit-{pattern}")
+    prev = None
+    for i, ch in enumerate(pattern):
+        last = i == len(pattern) - 1
+        ste = STE(
+            f"p{i}",
+            SymbolSet.single(ord(ch)),
+            start=StartMode.ALL_INPUT if i == 0 else StartMode.NONE,
+            reporting=last,
+            report_code=0 if last else None,
+        )
+        net.add_ste(ste)
+        if prev is not None:
+            net.connect(prev, f"p{i}")
+        prev = f"p{i}"
+    return net
+
+
+class TestSTESemantics:
+    def test_literal_match_offsets(self):
+        net = make_literal_matcher("ab")
+        res = simulate(net, b"ababxab")
+        assert [(r.code, r.cycle) for r in res.reports] == [(0, 1), (0, 3), (0, 6)]
+
+    def test_all_input_start_fires_anywhere(self):
+        net = AutomataNetwork("t")
+        net.add_ste(
+            STE("a", SymbolSet.single(ord("a")), start=StartMode.ALL_INPUT,
+                reporting=True, report_code=0)
+        )
+        res = simulate(net, b"xaxa")
+        assert [r.cycle for r in res.reports] == [1, 3]
+
+    def test_start_of_data_only_first_symbol(self):
+        net = AutomataNetwork("t")
+        net.add_ste(
+            STE("a", SymbolSet.single(ord("a")), start=StartMode.START_OF_DATA,
+                reporting=True, report_code=0)
+        )
+        assert len(simulate(net, b"aaa").reports) == 1
+        assert len(simulate(net, b"xaa").reports) == 0
+
+    def test_self_loop_holds_activation(self):
+        net = AutomataNetwork("t")
+        net.add_ste(STE("go", SymbolSet.single(ord("g")), start=StartMode.ALL_INPUT))
+        net.add_ste(
+            STE("hold", SymbolSet.negated_single(ord("!")),
+                reporting=True, report_code=0)
+        )
+        net.connect("go", "hold")
+        net.connect("hold", "hold")
+        res = simulate(net, b"gxxx!x")
+        assert [r.cycle for r in res.reports] == [1, 2, 3]
+
+    def test_nfa_nondeterminism_multiple_paths(self):
+        # 'a' then either 'b' or 'c' -> two simultaneously active branches.
+        net = AutomataNetwork("t")
+        net.add_ste(STE("a", SymbolSet.single(ord("a")), start=StartMode.ALL_INPUT))
+        net.add_ste(STE("b", SymbolSet.from_values([ord("b"), ord("d")]),
+                        reporting=True, report_code=1))
+        net.add_ste(STE("c", SymbolSet.from_values([ord("b"), ord("e")]),
+                        reporting=True, report_code=2))
+        net.connect("a", "b")
+        net.connect("a", "c")
+        res = simulate(net, b"ab")
+        assert sorted(r.code for r in res.reports) == [1, 2]
+
+
+class TestCounterSemantics:
+    def _counter_net(self, threshold, mode=CounterMode.PULSE, max_inc=1,
+                     n_drivers=1):
+        net = AutomataNetwork("t")
+        for i in range(n_drivers):
+            net.add_ste(
+                STE(f"en{i}", SymbolSet.single(ord("+")), start=StartMode.ALL_INPUT)
+            )
+        net.add_ste(STE("rst", SymbolSet.single(ord("0")), start=StartMode.ALL_INPUT))
+        net.add_counter(Counter("c", threshold=threshold, mode=mode,
+                                max_increment=max_inc))
+        for i in range(n_drivers):
+            net.connect(f"en{i}", "c", "count")
+        net.connect("rst", "c", "reset")
+        net.add_ste(STE("rep", SymbolSet.wildcard(), reporting=True, report_code=0))
+        net.connect("c", "rep")
+        return net
+
+    def test_counter_samples_previous_cycle(self):
+        # '+' at cycle 0 -> counted at cycle 1 -> pulse at 1 -> report at 2.
+        net = self._counter_net(threshold=1)
+        res = simulate(net, b"+xxx")
+        assert [r.cycle for r in res.reports] == [2]
+
+    def test_pulse_fires_once(self):
+        net = self._counter_net(threshold=2)
+        res = simulate(net, b"++++xx")
+        assert [r.cycle for r in res.reports] == [3]
+
+    def test_latch_holds_until_reset(self):
+        net = self._counter_net(threshold=2, mode=CounterMode.LATCH)
+        res = simulate(net, b"+++0+x")
+        # crossing at cycle 2 (update from '+', cycle 1); latched through
+        # reset ('0' at cycle 3, applied at cycle 4): reports at 3,4,5 stop.
+        cycles = [r.cycle for r in res.reports]
+        assert cycles[0] == 3
+        assert res.final_counts["c"] == 1
+
+    def test_roll_mode_wraps(self):
+        net = self._counter_net(threshold=2, mode=CounterMode.ROLL)
+        res = simulate(net, b"+++++xx")
+        # counts roll to zero at each crossing: pulses at updates 2 and 4.
+        assert [r.cycle for r in res.reports] == [3, 5]
+
+    def test_reset_clears_count(self):
+        net = self._counter_net(threshold=3)
+        res = simulate(net, b"++0++x+xx")
+        assert res.final_counts["c"] == 3
+        assert [r.cycle for r in res.reports] == [8]
+
+    def test_increment_capped_without_extension(self):
+        net = self._counter_net(threshold=2, n_drivers=3)
+        res = simulate(net, b"+xxx")
+        assert res.final_counts["c"] == 1  # 3 simultaneous drivers -> +1
+
+    def test_increment_extension_counts_parallel_drivers(self):
+        net = self._counter_net(threshold=2, max_inc=8, n_drivers=3)
+        res = simulate(net, b"+xxx")
+        assert res.final_counts["c"] == 3
+        assert [r.cycle for r in res.reports] == [2]
+
+    def test_dynamic_threshold_tracks_source(self):
+        net = AutomataNetwork("t")
+        net.add_ste(STE("ea", SymbolSet.single(ord("a")), start=StartMode.ALL_INPUT))
+        net.add_ste(STE("eb", SymbolSet.single(ord("b")), start=StartMode.ALL_INPUT))
+        net.add_counter(Counter("B", threshold=100))
+        net.add_counter(Counter("A", threshold=100, threshold_source="B",
+                                mode=CounterMode.LATCH))
+        net.connect("ea", "A", "count")
+        net.connect("eb", "B", "count")
+        sim = CompiledSimulator(net)
+        # B reaches 2; A reaches 3 -> latch output once A >= B.
+        res = sim.run(b"bbaaaxxx", record_trace=True)
+        a_idx = sim._counter_pos("A")
+        assert res.counter_trace[-1, a_idx] == 3
+
+    def test_initial_counts(self):
+        net = self._counter_net(threshold=5)
+        sim = CompiledSimulator(net)
+        res = sim.run(b"+xx", initial_counts={"c": 4})
+        assert [r.cycle for r in res.reports] == [2]
+
+
+class TestBooleanSemantics:
+    def _bool_net(self, op, symbols=("a", "b")):
+        net = AutomataNetwork("t")
+        for s in symbols:
+            net.add_ste(
+                STE(f"in_{s}", SymbolSet.single(ord(s)), start=StartMode.ALL_INPUT)
+            )
+        net.add_boolean(BooleanElement("g", op, reporting=True, report_code=0))
+        for s in symbols:
+            net.connect(f"in_{s}", "g")
+        return net
+
+    def test_and_or(self):
+        both = SymbolSet.from_values([ord("a"), ord("b")])
+        net = AutomataNetwork("t")
+        net.add_ste(STE("x", both, start=StartMode.ALL_INPUT))
+        net.add_ste(STE("y", SymbolSet.single(ord("a")), start=StartMode.ALL_INPUT))
+        net.add_boolean(BooleanElement("and", BooleanOp.AND, reporting=True, report_code=1))
+        net.add_boolean(BooleanElement("or", BooleanOp.OR, reporting=True, report_code=2))
+        for g in ("and", "or"):
+            net.connect("x", g)
+            net.connect("y", g)
+        res = simulate(net, b"ab")
+        by_cycle = res.reports_by_cycle()
+        assert sorted(by_cycle[0]) == [1, 2]  # 'a': both inputs high
+        assert by_cycle.get(1, []) == [2]  # 'b': only OR
+
+    @pytest.mark.parametrize(
+        "op,stream,expected",
+        [
+            (BooleanOp.NAND, b"ax", [0, 1]),  # fires unless both inputs high
+            (BooleanOp.NOR, b"xa", [0]),
+            (BooleanOp.XOR, b"a", [0]),
+            (BooleanOp.XNOR, b"x", [0]),
+        ],
+    )
+    def test_gate_truth(self, op, stream, expected):
+        net = self._bool_net(op)
+        res = simulate(net, stream)
+        assert [r.cycle for r in res.reports] == expected
+
+    def test_not_gate(self):
+        net = AutomataNetwork("t")
+        net.add_ste(STE("a", SymbolSet.single(ord("a")), start=StartMode.ALL_INPUT))
+        net.add_boolean(BooleanElement("n", BooleanOp.NOT, reporting=True, report_code=0))
+        net.connect("a", "n")
+        res = simulate(net, b"ax")
+        assert [r.cycle for r in res.reports] == [1]
+
+    def test_boolean_chain_topological(self):
+        # NOT(OR(a)) evaluated within the same cycle.
+        net = AutomataNetwork("t")
+        net.add_ste(STE("a", SymbolSet.single(ord("a")), start=StartMode.ALL_INPUT))
+        net.add_boolean(BooleanElement("o", BooleanOp.OR))
+        net.add_boolean(BooleanElement("n", BooleanOp.NOT, reporting=True, report_code=0))
+        net.connect("a", "o")
+        net.connect("o", "n")
+        res = simulate(net, b"ax")
+        assert [r.cycle for r in res.reports] == [1]
+
+
+class TestHarness:
+    def test_stream_validation(self):
+        net = make_literal_matcher("a")
+        with pytest.raises(ValueError, match="8-bit"):
+            simulate(net, [300])
+        with pytest.raises(ValueError, match="1-D"):
+            simulate(net, np.zeros((2, 2), dtype=np.int64))
+
+    def test_empty_stream(self):
+        net = make_literal_matcher("a")
+        res = simulate(net, b"")
+        assert res.n_cycles == 0 and res.reports == []
+
+    def test_trace_recording(self):
+        net = make_literal_matcher("ab")
+        res = simulate(net, b"ab", record_trace=True)
+        assert res.activation_trace.shape == (2, 2)
+        assert res.activations_of("p0").tolist() == [0]
+        assert res.activations_of("p1").tolist() == [1]
+
+    def test_activations_without_trace_raises(self):
+        res = simulate(make_literal_matcher("a"), b"a")
+        with pytest.raises(ValueError, match="record_trace"):
+            res.activations_of("p0")
+
+    def test_compiled_simulator_reusable(self):
+        sim = CompiledSimulator(make_literal_matcher("ab"))
+        r1 = sim.run(b"ab")
+        r2 = sim.run(b"xxab")
+        assert [r.cycle for r in r1.reports] == [1]
+        assert [r.cycle for r in r2.reports] == [3]
+
+    @given(st.text(alphabet="ab", min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_substring_matcher_property(self, text):
+        """The 'ab' matcher reports exactly at every occurrence end."""
+        net = make_literal_matcher("ab")
+        res = simulate(net, text.encode())
+        expected = [i + 1 for i in range(len(text) - 1) if text[i : i + 2] == "ab"]
+        assert [r.cycle for r in res.reports] == expected

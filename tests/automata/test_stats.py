@@ -1,0 +1,80 @@
+"""Tests for activation-activity statistics."""
+
+import numpy as np
+import pytest
+
+from repro.automata.simulator import CompiledSimulator, simulate
+from repro.automata.stats import activity_report
+from repro.core.macros import build_knn_network
+from repro.core.stream import StreamLayout, encode_query
+
+
+class TestActivityReport:
+    def _traced(self):
+        net, handles = build_knn_network(
+            np.array([[1, 0, 1, 1]], dtype=np.uint8)
+        )
+        layout = StreamLayout(4, handles[0].collector_depth)
+        res = simulate(
+            net, encode_query(np.array([1, 0, 0, 1], dtype=np.uint8), layout),
+            record_trace=True,
+        )
+        return net, handles[0], res
+
+    def test_requires_trace(self):
+        net, _ = build_knn_network(np.array([[1, 0]], dtype=np.uint8))
+        res = simulate(net, np.zeros(3, dtype=np.uint8))
+        with pytest.raises(ValueError, match="record_trace"):
+            activity_report(res)
+
+    def test_fractions_bounded(self):
+        _, _, res = self._traced()
+        rep = activity_report(res)
+        assert 0 < rep.mean_active_fraction < 1
+        assert rep.mean_active_fraction <= rep.peak_active_fraction <= 1
+        assert 0 < rep.mean_switching_fraction <= 1
+
+    def test_duty_cycles(self):
+        _, h, res = self._traced()
+        rep = activity_report(res)
+        # the sort state is active 5 of 12 cycles (Fig. 3 t=7..11)
+        assert rep.duty_cycle[h.sort_state] == pytest.approx(5 / 12)
+        # the guard fires exactly once
+        assert rep.duty_cycle[h.guard] == pytest.approx(1 / 12)
+        busiest = rep.busiest(top=1)[0]
+        assert busiest[1] == max(rep.duty_cycle.values())
+
+    def test_activity_scales_with_matches(self):
+        """A query matching every dimension activates more states than a
+        query matching none — the physical basis of utilization-scaled
+        power."""
+        data = np.ones((1, 8), dtype=np.uint8)
+        net, handles = build_knn_network(data)
+        layout = StreamLayout(8, handles[0].collector_depth)
+        sim = CompiledSimulator(net)
+        hot = sim.run(
+            encode_query(np.ones(8, dtype=np.uint8), layout), record_trace=True
+        )
+        cold = sim.run(
+            encode_query(np.zeros(8, dtype=np.uint8), layout), record_trace=True
+        )
+        assert (
+            activity_report(hot).mean_active_fraction
+            > activity_report(cold).mean_active_fraction
+        )
+
+
+class TestUtilizationPower:
+    def test_calibration_points(self):
+        from repro.perf.energy import utilization_scaled_power
+
+        assert utilization_scaled_power(0.417) == pytest.approx(18.8, abs=0.05)
+        assert utilization_scaled_power(0.909) == pytest.approx(23.3, abs=0.05)
+        # TagSpace residual stays within 6 %
+        assert utilization_scaled_power(0.786) == pytest.approx(23.3, rel=0.06)
+
+    def test_validation(self):
+        from repro.perf.energy import utilization_scaled_power
+
+        with pytest.raises(ValueError):
+            utilization_scaled_power(1.5)

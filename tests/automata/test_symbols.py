@@ -1,0 +1,97 @@
+"""Tests for 8-bit symbol sets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.symbols import BIT0, BIT1, EOF, PAD, SOF, SymbolSet
+
+
+class TestConstructors:
+    def test_single(self):
+        s = SymbolSet.single(65)
+        assert s.matches(65) and not s.matches(66)
+        assert s.cardinality() == 1
+
+    def test_from_values(self):
+        s = SymbolSet.from_values([1, 2, 255])
+        assert s.values() == [1, 2, 255]
+
+    def test_from_values_range_check(self):
+        with pytest.raises(ValueError, match="out of range"):
+            SymbolSet.from_values([256])
+
+    def test_wildcard(self):
+        s = SymbolSet.wildcard()
+        assert s.cardinality() == 256
+        assert s.is_wildcard()
+
+    def test_empty(self):
+        assert SymbolSet.empty().cardinality() == 0
+
+    def test_negated_single(self):
+        s = SymbolSet.negated_single(EOF)
+        assert not s.matches(EOF)
+        assert s.matches(SOF) and s.matches(PAD) and s.matches(0)
+        assert s.cardinality() == 255
+
+    def test_from_mask_shape_check(self):
+        with pytest.raises(ValueError):
+            SymbolSet.from_mask(np.ones(255, dtype=bool))
+
+
+class TestTernary:
+    def test_low_bit(self):
+        s = SymbolSet.ternary("0b*******1")
+        assert s.matches(1) and s.matches(3) and s.matches(255)
+        assert not s.matches(0) and not s.matches(2)
+        assert s.cardinality() == 128
+
+    def test_fixed_pattern(self):
+        s = SymbolSet.ternary("0b00000001")
+        assert s.values() == [1]
+
+    def test_all_dont_care(self):
+        assert SymbolSet.ternary("0b********").is_wildcard()
+
+    def test_msb(self):
+        s = SymbolSet.ternary("0b1*******")
+        assert s.matches(0x80) and not s.matches(0x7F)
+
+    def test_rejects_bad_patterns(self):
+        for bad in ("0b1", "0b*******2", "*******1", "0b*********"):
+            with pytest.raises(ValueError):
+                SymbolSet.ternary(bad)
+
+
+class TestAlgebra:
+    def test_union_intersection(self):
+        a = SymbolSet.from_values([1, 2])
+        b = SymbolSet.from_values([2, 3])
+        assert a.union(b).values() == [1, 2, 3]
+        assert a.intersection(b).values() == [2]
+
+    def test_complement_involution(self):
+        a = SymbolSet.from_values([0, 7, 200])
+        assert a.complement().complement().mask == a.mask
+
+    def test_contains_protocol(self):
+        assert 5 in SymbolSet.single(5)
+        assert 6 not in SymbolSet.single(5)
+
+    @given(st.sets(st.integers(0, 255), max_size=20), st.sets(st.integers(0, 255), max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_de_morgan(self, xs, ys):
+        a, b = SymbolSet.from_values(xs), SymbolSet.from_values(ys)
+        lhs = a.union(b).complement()
+        rhs = a.complement().intersection(b.complement())
+        assert lhs.mask == rhs.mask
+
+
+class TestControlSymbols:
+    def test_distinct_and_high(self):
+        assert len({SOF, EOF, PAD}) == 3
+        for c in (SOF, EOF, PAD):
+            assert c >= 0x80, "control symbols must have bit 7 set"
+        assert BIT0 == 0 and BIT1 == 1

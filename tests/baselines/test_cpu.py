@@ -1,0 +1,81 @@
+"""Tests for the CPU baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.cpu import CPUHammingKnn
+from tests.conftest import brute_force_knn
+
+
+class TestSearch:
+    def test_matches_oracle(self, small_dataset, small_queries, oracle):
+        cpu = CPUHammingKnn(small_dataset)
+        res = cpu.search(small_queries, 5)
+        exp_i, exp_d = oracle(small_dataset, small_queries, 5)
+        assert (res.indices == exp_i).all() and (res.distances == exp_d).all()
+        assert res.candidates_scanned == 6 * 24
+        assert res.elapsed_s >= 0
+
+    def test_query_tiling_invariant(self, small_dataset, small_queries):
+        r1 = CPUHammingKnn(small_dataset, query_tile=1).search(small_queries, 3)
+        r2 = CPUHammingKnn(small_dataset, query_tile=100).search(small_queries, 3)
+        assert (r1.indices == r2.indices).all()
+
+    def test_k_clipped(self, small_dataset):
+        res = CPUHammingKnn(small_dataset).search(small_dataset[:1], 1000)
+        assert res.indices.shape == (1, 24)
+
+    def test_input_validation(self, small_dataset):
+        cpu = CPUHammingKnn(small_dataset)
+        with pytest.raises(ValueError, match="d="):
+            cpu.search(np.zeros((1, 3), dtype=np.uint8), 1)
+        with pytest.raises(ValueError):
+            CPUHammingKnn(np.zeros((0, 4), dtype=np.uint8))
+
+    @given(st.integers(1, 40), st.integers(1, 30), st.integers(1, 8),
+           st.integers(0, 999))
+    @settings(max_examples=20, deadline=None)
+    def test_property_vs_oracle(self, n, d, k, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 2, (n, d), dtype=np.uint8)
+        queries = rng.integers(0, 2, (3, d), dtype=np.uint8)
+        res = CPUHammingKnn(data).search(queries, k)
+        exp_i, exp_d = brute_force_knn(data, queries, min(k, n))
+        assert (res.indices == exp_i).all() and (res.distances == exp_d).all()
+
+
+class TestPriorityQueuePath:
+    def test_matches_vectorized(self, small_dataset, small_queries):
+        cpu = CPUHammingKnn(small_dataset)
+        vec = cpu.search(small_queries[:1], 4)
+        pq = cpu.search_priority_queue(small_queries[0], 4)
+        assert (pq.indices == vec.indices).all()
+        assert (pq.distances == vec.distances).all()
+
+    def test_dim_check(self, small_dataset):
+        with pytest.raises(ValueError):
+            CPUHammingKnn(small_dataset).search_priority_queue(
+                np.zeros(3, dtype=np.uint8), 1
+            )
+
+
+class TestScanSubset:
+    def test_global_indices_returned(self, small_dataset, small_queries):
+        cpu = CPUHammingKnn(small_dataset)
+        subset = np.array([20, 3, 11])
+        idx, dist = cpu.scan_subset(small_queries, subset, 2)
+        assert set(idx.ravel().tolist()) <= {3, 11, 20}
+
+    def test_agrees_with_full_scan_when_subset_is_all(self, small_dataset,
+                                                      small_queries):
+        cpu = CPUHammingKnn(small_dataset)
+        full = cpu.search(small_queries, 3)
+        idx, dist = cpu.scan_subset(small_queries, np.arange(24), 3)
+        assert (idx == full.indices).all() and (dist == full.distances).all()
+
+    def test_empty_subset(self, small_dataset, small_queries):
+        cpu = CPUHammingKnn(small_dataset)
+        idx, dist = cpu.scan_subset(small_queries, np.array([], dtype=np.int64), 3)
+        assert idx.shape == (6, 0)

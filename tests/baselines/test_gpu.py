@@ -1,0 +1,59 @@
+"""Tests for the GPU device model."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cpu import CPUHammingKnn
+from repro.baselines.gpu import GPUKnnSimulator, titan_x_simulator
+from repro.perf.models import JETSON_MODEL, TITANX_MODEL
+
+
+class TestFunctional:
+    def test_matches_cpu(self, small_dataset, small_queries):
+        ref = CPUHammingKnn(small_dataset).search(small_queries, 4)
+        gi, gd, _ = GPUKnnSimulator(small_dataset).search(small_queries, 4)
+        assert (gi == ref.indices).all() and (gd == ref.distances).all()
+
+    def test_block_size_invariant(self, small_dataset, small_queries):
+        a, _, _ = GPUKnnSimulator(small_dataset, queries_per_block=2).search(
+            small_queries, 3
+        )
+        b, _, _ = GPUKnnSimulator(small_dataset, queries_per_block=64).search(
+            small_queries, 3
+        )
+        assert (a == b).all()
+
+    def test_validation(self, small_dataset):
+        sim = GPUKnnSimulator(small_dataset)
+        with pytest.raises(ValueError):
+            sim.search(np.zeros((1, 99), dtype=np.uint8), 1)
+
+
+class TestStats:
+    def test_launch_and_traffic_accounting(self, small_dataset, small_queries):
+        sim = GPUKnnSimulator(small_dataset, queries_per_block=4)
+        _, _, stats = sim.search(small_queries, 2)
+        assert stats.kernel_launches == 2  # 6 queries / 4 per block
+        words = sim.words_per_vector
+        assert stats.global_bytes_read == 6 * 24 * words * 8
+        assert stats.word_ops == 6 * 24 * words
+        assert stats.device_time_s > 0
+        assert stats.effective_bandwidth_gbs > 0
+
+    def test_jetson_flat_in_d(self):
+        """The paper's signature GPU behaviour: run time ~ independent of d."""
+        t = {}
+        for d in (64, 128, 256):
+            data = np.zeros((1000, d), dtype=np.uint8)
+            sim = GPUKnnSimulator(data, model=JETSON_MODEL)
+            t[d] = JETSON_MODEL.runtime_s(2**20, 4096, d)
+        assert max(t.values()) / min(t.values()) < 1.05
+
+    def test_titanx_much_faster_than_jetson(self):
+        tj = JETSON_MODEL.runtime_s(2**20, 4096, 128)
+        tx = TITANX_MODEL.runtime_s(2**20, 4096, 128)
+        assert tj / tx > 10
+
+    def test_titan_constructor(self, small_dataset):
+        sim = titan_x_simulator(small_dataset)
+        assert sim.model is TITANX_MODEL

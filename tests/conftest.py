@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_dataset(rng):
+    """A small binary dataset suitable for cycle-accurate simulation."""
+    return rng.integers(0, 2, size=(24, 16), dtype=np.uint8)
+
+
+@pytest.fixture
+def small_queries(rng):
+    return rng.integers(0, 2, size=(6, 16), dtype=np.uint8)
+
+
+def brute_force_knn(data, queries, k):
+    """Independent oracle: O(qnd) scan with (distance, index) tie-break."""
+    data = np.asarray(data, dtype=np.int64)
+    queries = np.asarray(queries, dtype=np.int64)
+    n_q = queries.shape[0]
+    indices = np.empty((n_q, k), dtype=np.int64)
+    distances = np.empty((n_q, k), dtype=np.int64)
+    for qi in range(n_q):
+        dist = np.abs(data - queries[qi]).sum(axis=1)
+        order = np.lexsort((np.arange(data.shape[0]), dist))[:k]
+        indices[qi] = order
+        distances[qi] = dist[order]
+    return indices, distances
+
+
+@pytest.fixture
+def oracle():
+    return brute_force_knn

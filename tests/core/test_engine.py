@@ -1,0 +1,152 @@
+"""Tests for the end-to-end AP kNN engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ap.device import GEN1, GEN2
+from repro.core.engine import APSimilaritySearch
+from tests.conftest import brute_force_knn
+
+
+class TestEngineCorrectness:
+    @pytest.mark.parametrize("execution", ["simulate", "functional"])
+    def test_matches_brute_force(self, small_dataset, small_queries, execution):
+        eng = APSimilaritySearch(
+            small_dataset, k=4, board_capacity=7, execution=execution
+        )
+        res = eng.search(small_queries)
+        exp_i, exp_d = brute_force_knn(small_dataset, small_queries, 4)
+        assert (res.indices == exp_i).all()
+        assert (res.distances == exp_d).all()
+        assert res.execution == execution
+
+    def test_single_partition(self, small_dataset, small_queries):
+        eng = APSimilaritySearch(small_dataset, k=3, board_capacity=1000,
+                                 execution="functional")
+        res = eng.search(small_queries)
+        assert res.n_partitions == 1
+        assert res.counters.configurations == 1
+
+    def test_partition_count(self, small_dataset):
+        eng = APSimilaritySearch(small_dataset, k=1, board_capacity=10,
+                                 execution="functional")
+        assert eng.partitions == [(0, 10), (10, 20), (20, 24)]
+
+    def test_neighbors_span_partitions(self):
+        """Force the true neighbors into different partitions."""
+        d = 12
+        ones_per_row = [5, 9, 1, 7, 8, 2, 9, 10, 0]  # = distance from q = 0
+        data = np.zeros((9, d), dtype=np.uint8)
+        for i, ones in enumerate(ones_per_row):
+            data[i, :ones] = 1
+        q = np.zeros((1, d), dtype=np.uint8)
+        eng = APSimilaritySearch(data, k=3, board_capacity=3,
+                                 execution="functional")
+        res = eng.search(q)
+        # nearest three live in partitions 2, 0, and 1 respectively
+        assert res.indices[0].tolist() == [8, 2, 5]
+        assert res.distances[0].tolist() == [0, 1, 2]
+
+    def test_k_clipped_to_n(self, small_dataset, small_queries):
+        eng = APSimilaritySearch(small_dataset, k=100, execution="functional")
+        res = eng.search(small_queries)
+        assert res.k == small_dataset.shape[0]
+
+    def test_duplicate_vectors_tie_break_by_index(self):
+        data = np.zeros((5, 8), dtype=np.uint8)
+        q = np.zeros((1, 8), dtype=np.uint8)
+        eng = APSimilaritySearch(data, k=3, board_capacity=2, execution="functional")
+        res = eng.search(q)
+        assert res.indices[0].tolist() == [0, 1, 2]
+
+    @given(st.integers(2, 30), st.integers(2, 14), st.integers(1, 5),
+           st.integers(1, 6), st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_functional_engine_property(self, n, d, q, k, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 2, (n, d), dtype=np.uint8)
+        queries = rng.integers(0, 2, (q, d), dtype=np.uint8)
+        cap = int(rng.integers(1, n + 1))
+        eng = APSimilaritySearch(data, k=k, board_capacity=cap,
+                                 execution="functional")
+        res = eng.search(queries)
+        exp_i, exp_d = brute_force_knn(data, queries, min(k, n))
+        assert (res.indices == exp_i).all()
+        assert (res.distances == exp_d).all()
+
+
+class TestEngineAccounting:
+    def test_counters(self, small_dataset, small_queries):
+        eng = APSimilaritySearch(small_dataset, k=2, board_capacity=8,
+                                 execution="functional")
+        res = eng.search(small_queries)
+        assert res.counters.configurations == 3
+        # every partition streams the full query batch
+        assert res.counters.symbols_streamed == 3 * 6 * eng.layout.block_length
+        # every vector reports once per query
+        assert res.counters.reports_received == 24 * 6
+
+    def test_simulate_and_functional_counters_agree(self, small_dataset,
+                                                    small_queries):
+        results = {}
+        for mode in ("simulate", "functional"):
+            eng = APSimilaritySearch(small_dataset, k=2, board_capacity=8,
+                                     execution=mode)
+            results[mode] = eng.search(small_queries).counters
+        a, b = results["simulate"], results["functional"]
+        assert a.configurations == b.configurations
+        assert a.symbols_streamed == b.symbols_streamed
+        assert a.reports_received == b.reports_received
+
+    def test_estimated_runtime_uses_paper_model(self):
+        data = np.zeros((1024, 64), dtype=np.uint8)
+        data[:, 0] = 1  # avoid the degenerate all-equal dataset
+        eng = APSimilaritySearch(data, k=2, board_capacity=1024,
+                                 execution="functional")
+        t = eng.estimated_runtime_s(4096)
+        # one partition, no reconfiguration: q x d cycles at ~7.5 ns
+        assert t == pytest.approx(4096 * 64 / 133e6, rel=1e-9)
+        assert t == pytest.approx(4096 * 64 * 7.5e-9, rel=0.01)
+
+    def test_gen2_faster_for_partitioned_sets(self):
+        data = np.random.default_rng(0).integers(0, 2, (64, 16), dtype=np.uint8)
+        e1 = APSimilaritySearch(data, k=1, device=GEN1, board_capacity=8,
+                                execution="functional")
+        e2 = APSimilaritySearch(data, k=1, device=GEN2, board_capacity=8,
+                                execution="functional")
+        assert e1.estimated_runtime_s(100) > e2.estimated_runtime_s(100)
+
+
+class TestEngineValidation:
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError, match="binary"):
+            APSimilaritySearch(np.full((2, 2), 3, dtype=np.uint8), k=1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            APSimilaritySearch(np.zeros((0, 4), dtype=np.uint8), k=1)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            APSimilaritySearch(np.zeros((2, 2), dtype=np.uint8), k=0)
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError, match="execution"):
+            APSimilaritySearch(np.zeros((2, 2), dtype=np.uint8), k=1,
+                               execution="warp")
+
+    def test_rejects_query_dim_mismatch(self, small_dataset):
+        eng = APSimilaritySearch(small_dataset, k=1, execution="functional")
+        with pytest.raises(ValueError, match="d="):
+            eng.search(np.zeros((1, 5), dtype=np.uint8))
+
+    def test_rejects_non_binary_queries(self, small_dataset):
+        eng = APSimilaritySearch(small_dataset, k=1, execution="functional")
+        with pytest.raises(ValueError, match="binary"):
+            eng.search(np.full((1, 16), 2, dtype=np.uint8))
+
+    def test_default_capacity_from_compiler(self, small_dataset):
+        eng = APSimilaritySearch(small_dataset, k=1, execution="functional")
+        assert eng.board_capacity >= small_dataset.shape[0]

@@ -1,0 +1,64 @@
+"""Cross-validation: the fast functional model vs the cycle simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.simulator import CompiledSimulator
+from repro.core.functional import FunctionalKnnBoard
+from repro.core.macros import build_knn_network
+from repro.core.stream import StreamLayout, encode_query_batch
+
+
+def simulated_reports(data, queries):
+    net, handles = build_knn_network(data)
+    layout = StreamLayout(data.shape[1], handles[0].collector_depth)
+    res = CompiledSimulator(net).run(encode_query_batch(queries, layout))
+    return sorted((r.cycle, r.code) for r in res.reports), layout
+
+
+class TestFunctionalEquivalence:
+    @given(
+        st.integers(1, 8),  # n
+        st.integers(2, 12),  # d
+        st.integers(1, 4),  # q
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_identical_report_records(self, n, d, q, seed):
+        """The functional board must produce byte-identical report
+        streams to the cycle-accurate simulator — cycle offsets included."""
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 2, (n, d), dtype=np.uint8)
+        queries = rng.integers(0, 2, (q, d), dtype=np.uint8)
+        sim_reports, layout = simulated_reports(data, queries)
+        board = FunctionalKnnBoard(data, layout)
+        _, codes, cycles = board.query_reports(queries)
+        func_reports = sorted(zip(cycles.tolist(), codes.tolist()))
+        assert func_reports == sim_reports
+
+    def test_report_ordering_within_query(self):
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 2, (20, 16), dtype=np.uint8)
+        queries = rng.integers(0, 2, (4, 16), dtype=np.uint8)
+        board = FunctionalKnnBoard(data, StreamLayout(16, 1))
+        q_idx, codes, cycles = board.query_reports(queries)
+        # grouped by query; within a query cycles ascend; ties by code.
+        for qi in range(4):
+            mask = q_idx == qi
+            c = cycles[mask]
+            k = codes[mask]
+            assert (np.diff(c) >= 0).all()
+            same = np.nonzero(np.diff(c) == 0)[0]
+            assert (k[same] < k[same + 1]).all()
+
+    def test_report_code_base_offsets_codes(self):
+        data = np.zeros((3, 4), dtype=np.uint8)
+        board = FunctionalKnnBoard(data, StreamLayout(4, 1), report_code_base=50)
+        _, codes, _ = board.query_reports(np.zeros((1, 4), dtype=np.uint8))
+        assert sorted(codes.tolist()) == [50, 51, 52]
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FunctionalKnnBoard(np.zeros((2, 4), dtype=np.uint8), StreamLayout(8, 1))

@@ -1,0 +1,97 @@
+"""Tests for precompiled board-image libraries."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.images import (
+    ImageManifest,
+    export_image_library,
+    load_image_library,
+    verify_partition,
+)
+from tests.conftest import brute_force_knn
+
+
+@pytest.fixture
+def library(tmp_path, rng):
+    data = rng.integers(0, 2, (30, 10), dtype=np.uint8)
+    manifest = export_image_library(data, board_capacity=8, directory=tmp_path)
+    return tmp_path, data, manifest
+
+
+class TestExport:
+    def test_files_written(self, library):
+        path, data, manifest = library
+        assert (path / "manifest.json").exists()
+        assert (path / "dataset.npy").exists()
+        assert len(manifest.partitions) == 4
+        for part in manifest.partitions:
+            assert (path / part["file"]).exists()
+
+    def test_manifest_roundtrip(self, library):
+        path, _, manifest = library
+        loaded = ImageManifest.from_json((path / "manifest.json").read_text())
+        assert loaded == manifest
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            ImageManifest.from_json(json.dumps({"format": "other/9"}))
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_image_library(np.zeros((0, 4), dtype=np.uint8), 4, tmp_path)
+        with pytest.raises(ValueError):
+            export_image_library(np.zeros((4, 4), dtype=np.uint8), 0, tmp_path)
+
+
+class TestLoad:
+    def test_loaded_engine_is_exact(self, library, rng):
+        path, data, _ = library
+        engine, manifest = load_image_library(path, k=3, execution="functional")
+        queries = rng.integers(0, 2, (5, 10), dtype=np.uint8)
+        res = engine.search(queries)
+        exp_i, exp_d = brute_force_knn(data, queries, 3)
+        assert (res.indices == exp_i).all() and (res.distances == exp_d).all()
+        assert res.n_partitions == len(manifest.partitions)
+
+    def test_verify_accepts_good_images(self, library):
+        path, _, _ = library
+        load_image_library(path, k=2, verify=True)
+
+    def test_verify_rejects_tampered_image(self, library):
+        path, _, manifest = library
+        # tamper: swap a report code in partition 0
+        f = path / manifest.partitions[0]["file"]
+        text = f.read_text().replace('report-code="0"', 'report-code="99"')
+        f.write_text(text)
+        with pytest.raises(ValueError, match="report codes"):
+            load_image_library(path, k=2, verify=True)
+
+    def test_dataset_shape_mismatch_detected(self, library):
+        path, _, _ = library
+        np.save(path / "dataset.npy", np.zeros((2, 10), dtype=np.uint8))
+        with pytest.raises(ValueError, match="contradicts manifest"):
+            load_image_library(path, k=1)
+
+    def test_simulated_partition_matches_loaded_anml(self, library, rng):
+        """The ANML on disk is the network the engine would rebuild."""
+        from repro.automata.anml import parse_anml
+        from repro.automata.simulator import CompiledSimulator
+        from repro.core.stream import StreamLayout, encode_query
+        from repro.core.macros import build_knn_network
+
+        path, data, manifest = library
+        part = manifest.partitions[1]
+        disk_net = parse_anml((path / part["file"]).read_text())
+        fresh_net, _ = build_knn_network(
+            data[part["start"] : part["end"]],
+            report_code_base=part["start"], name="x",
+        )
+        lay = StreamLayout(10, manifest.collector_depth)
+        q = rng.integers(0, 2, 10, dtype=np.uint8)
+        stream = encode_query(q, lay)
+        r1 = sorted((r.cycle, r.code) for r in CompiledSimulator(disk_net).run(stream).reports)
+        r2 = sorted((r.cycle, r.code) for r in CompiledSimulator(fresh_net).run(stream).reports)
+        assert r1 == r2

@@ -1,0 +1,133 @@
+"""Tests for the Hamming/sorting macro builders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.network import AutomataNetwork
+from repro.automata.simulator import CompiledSimulator, simulate
+from repro.core.macros import (
+    MacroConfig,
+    build_knn_network,
+    build_vector_macro,
+    collector_tree_depth,
+    macro_ste_cost,
+)
+from repro.core.stream import StreamLayout, decode_report_offset, encode_query
+
+
+class TestCollectorTree:
+    def test_depth_one_until_fan_in(self):
+        assert collector_tree_depth(16, 16) == 1
+        assert collector_tree_depth(256, 16) == 1  # 16 collectors, ok
+
+    def test_depth_two_beyond(self):
+        assert collector_tree_depth(257, 16) == 2
+        assert collector_tree_depth(64, 4) == 2
+
+    def test_paper_workloads_depth_one(self):
+        for d in (64, 128, 256):
+            assert collector_tree_depth(d, 16) == 1
+
+
+class TestMacroCost:
+    def test_formula_matches_built_network(self):
+        for d in (4, 16, 40, 64, 100):
+            net = AutomataNetwork("t")
+            build_vector_macro(net, np.zeros(d, dtype=np.uint8), 0, "v_")
+            assert len(net.stes()) == macro_ste_cost(d), d
+
+    def test_scales_linearly(self):
+        # cost ~ 2d + O(d / fan_in): doubling d roughly doubles cost.
+        c64, c128 = macro_ste_cost(64), macro_ste_cost(128)
+        assert 1.8 < c128 / c64 < 2.2
+
+
+class TestMacroStructure:
+    def test_element_inventory(self):
+        net = AutomataNetwork("t")
+        h = build_vector_macro(net, np.array([1, 0, 1]), 7, "v_")
+        assert len(h.stars) == 3 and len(h.matches) == 3
+        assert h.collector_depth == 1
+        assert len(net.counters()) == 1
+        rep = net.elements[h.report_state]
+        assert rep.reporting and rep.report_code == 7
+        net.validate()
+
+    def test_counter_threshold_is_dimensionality(self):
+        net = AutomataNetwork("t")
+        h = build_vector_macro(net, np.zeros(9, dtype=np.uint8), 0, "v_")
+        assert net.elements[h.counter].threshold == 9
+
+    def test_rejects_bad_vectors(self):
+        net = AutomataNetwork("t")
+        with pytest.raises(ValueError, match="0/1"):
+            build_vector_macro(net, np.array([0, 2]), 0, "v_")
+        with pytest.raises(ValueError, match="at least one"):
+            build_vector_macro(net, np.array([]), 0, "v_")
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MacroConfig(max_fan_in=1)
+        with pytest.raises(ValueError):
+            MacroConfig(counter_max_increment=0)
+
+    def test_report_code_base(self):
+        data = np.zeros((3, 4), dtype=np.uint8)
+        net, handles = build_knn_network(data, report_code_base=100)
+        codes = sorted(
+            e.report_code for e in net.reporting_elements()
+        )
+        assert codes == [100, 101, 102]
+
+    def test_deep_collector_tree_uniform(self):
+        """With tiny fan-in the tree goes multi-level but stays uniform:
+        report offsets must still be affine in the match count."""
+        net = AutomataNetwork("t")
+        config = MacroConfig(max_fan_in=2)
+        d = 8
+        h = build_vector_macro(net, np.ones(d, dtype=np.uint8), 0, "v_", config)
+        assert h.collector_depth == collector_tree_depth(d, 2) == 2
+        layout = StreamLayout(d, h.collector_depth)
+        for ones in range(d + 1):
+            q = np.zeros(d, dtype=np.uint8)
+            q[:ones] = 1
+            res = simulate(net, encode_query(q, layout))
+            assert len(res.reports) == 1
+            _, m, dist = decode_report_offset(res.reports[0].cycle, layout)
+            assert m == ones and dist == d - ones
+
+
+class TestMacroCorrectness:
+    @given(st.integers(2, 24), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_distance_decoding_property(self, d, seed):
+        """For random (vector, query) pairs the decoded Hamming distance
+        equals the direct computation — the core functional claim."""
+        rng = np.random.default_rng(seed)
+        v = rng.integers(0, 2, d, dtype=np.uint8)
+        q = rng.integers(0, 2, d, dtype=np.uint8)
+        net, handles = build_knn_network(v[None, :])
+        layout = StreamLayout(d, handles[0].collector_depth)
+        res = simulate(net, encode_query(q, layout))
+        assert len(res.reports) == 1
+        _, _, dist = decode_report_offset(res.reports[0].cycle, layout)
+        assert dist == int((v != q).sum())
+
+    def test_every_vector_reports_exactly_once_per_query(self):
+        rng = np.random.default_rng(5)
+        data = rng.integers(0, 2, (7, 10), dtype=np.uint8)
+        net, handles = build_knn_network(data)
+        layout = StreamLayout(10, handles[0].collector_depth)
+        from repro.core.stream import encode_query_batch
+
+        queries = rng.integers(0, 2, (3, 10), dtype=np.uint8)
+        res = CompiledSimulator(net).run(encode_query_batch(queries, layout))
+        seen = {}
+        for r in res.reports:
+            qi = r.cycle // layout.block_length
+            key = (qi, r.code)
+            assert key not in seen, "duplicate report"
+            seen[key] = r.cycle
+        assert len(seen) == 3 * 7

@@ -1,0 +1,76 @@
+"""Tests for multi-device scale-out."""
+
+import numpy as np
+import pytest
+
+from repro.ap.device import GEN1
+from repro.core.multiboard import MultiBoardSearch
+from tests.conftest import brute_force_knn
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n_devices", [1, 2, 3, 5])
+    def test_matches_brute_force(self, rng, n_devices):
+        data = rng.integers(0, 2, (50, 12), dtype=np.uint8)
+        queries = rng.integers(0, 2, (7, 12), dtype=np.uint8)
+        mb = MultiBoardSearch(data, k=4, n_devices=n_devices,
+                              board_capacity=8)
+        res = mb.search(queries)
+        exp_i, exp_d = brute_force_knn(data, queries, 4)
+        assert (res.indices == exp_i).all()
+        assert (res.distances == exp_d).all()
+        assert res.n_devices == n_devices
+
+    def test_global_ids_across_shards(self, rng):
+        # nearest vector deliberately in the last shard
+        data = np.ones((30, 8), dtype=np.uint8)
+        data[29] = 0
+        q = np.zeros((1, 8), dtype=np.uint8)
+        mb = MultiBoardSearch(data, k=1, n_devices=3, board_capacity=10)
+        res = mb.search(q)
+        assert res.indices[0, 0] == 29 and res.distances[0, 0] == 0
+
+    def test_counters_aggregate(self, rng):
+        data = rng.integers(0, 2, (40, 8), dtype=np.uint8)
+        q = rng.integers(0, 2, (2, 8), dtype=np.uint8)
+        mb = MultiBoardSearch(data, k=2, n_devices=4, board_capacity=5)
+        res = mb.search(q)
+        assert sum(res.per_device_partitions) == 8  # 40/5
+        assert res.counters.configurations == 8
+        assert res.counters.reports_received == 2 * 40
+
+    def test_validation(self, rng):
+        data = rng.integers(0, 2, (10, 4), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            MultiBoardSearch(data, k=1, n_devices=0)
+        with pytest.raises(ValueError):
+            MultiBoardSearch(data, k=1, n_devices=11)
+
+
+class TestScalingModel:
+    def test_runtime_shrinks_with_devices(self, rng):
+        data = rng.integers(0, 2, (4096, 16), dtype=np.uint8)
+        t = {}
+        for d in (1, 2, 4, 8):
+            mb = MultiBoardSearch(data, k=1, n_devices=d, board_capacity=256)
+            t[d] = mb.estimated_runtime_s(1024)
+        assert t[1] > t[2] > t[4] > t[8]
+        # near-linear while every shard still spans many partitions
+        assert t[1] / t[2] == pytest.approx(2.0, rel=0.05)
+
+    def test_scaling_saturates_at_one_partition_per_device(self, rng):
+        data = rng.integers(0, 2, (512, 16), dtype=np.uint8)
+        t1 = MultiBoardSearch(data, k=1, n_devices=1,
+                              board_capacity=512).estimated_runtime_s(256)
+        t2 = MultiBoardSearch(data, k=1, n_devices=2,
+                              board_capacity=512).estimated_runtime_s(256)
+        # each shard already fits one configuration: no speedup left
+        assert t2 == pytest.approx(t1, rel=0.01)
+
+    def test_efficiency_metric(self, rng):
+        data = rng.integers(0, 2, (2048, 16), dtype=np.uint8)
+        t1 = MultiBoardSearch(data, k=1, n_devices=1,
+                              board_capacity=128).estimated_runtime_s(512)
+        mb4 = MultiBoardSearch(data, k=1, n_devices=4, board_capacity=128)
+        eff = mb4.scaling_efficiency(512, t1)
+        assert 0.9 <= eff <= 1.01

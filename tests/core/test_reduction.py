@@ -1,0 +1,118 @@
+"""Tests for statistical activation reduction (Section VI-C / Fig. 7 / E7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.simulator import CompiledSimulator
+from repro.core.reduction import (
+    ReductionModel,
+    bandwidth_reduction,
+    build_reduced_network,
+)
+from repro.core.stream import StreamLayout, encode_query_batch
+from repro.util.bitops import hamming_cdist_packed, pack_bits
+
+
+class TestBandwidthReduction:
+    def test_paper_factor(self):
+        assert bandwidth_reduction(16, 2) == 8.0
+        assert bandwidth_reduction(16, 4) == 4.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bandwidth_reduction(0, 1)
+        with pytest.raises(ValueError):
+            bandwidth_reduction(4, 5)
+
+
+class TestReducedAutomata:
+    def _run(self, data, query, k_prime, group_size):
+        net, _ = build_reduced_network(data, k_prime, group_size)
+        lay = StreamLayout(data.shape[1], 1)
+        res = CompiledSimulator(net).run(encode_query_batch(query, lay))
+        return {r.code for r in res.reports}
+
+    @given(st.integers(1, 6), st.integers(0, 5000))
+    @settings(max_examples=12, deadline=None)
+    def test_matches_statistical_model(self, k_prime, seed):
+        rng = np.random.default_rng(seed)
+        p, n, d = 8, 24, 10
+        data = rng.integers(0, 2, (n, d), dtype=np.uint8)
+        query = rng.integers(0, 2, (1, d), dtype=np.uint8)
+        got = self._run(data, query, k_prime, p)
+        dist = hamming_cdist_packed(pack_bits(query), pack_bits(data))[0]
+        model = ReductionModel(d=d, k=4, k_prime=k_prime, p=p, n=n)
+        expected = set()
+        for idx, _ in model.surviving_reports(dist):
+            expected.update(idx.tolist())
+        assert got == expected
+
+    def test_k_prime_1_suppresses_everything(self):
+        """The Table VI k'=1 row: the reset races the first report."""
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 2, (16, 8), dtype=np.uint8)
+        query = rng.integers(0, 2, (1, 8), dtype=np.uint8)
+        assert self._run(data, query, k_prime=1, group_size=16) == set()
+
+    def test_k_prime_p_reports_everything_but_farthest_cohort(self):
+        # distinct distances: 0,1,2,3 in one group of 4; k'=4 reports the
+        # three nearest distinct-distance cohorts.
+        d = 8
+        data = np.zeros((4, d), dtype=np.uint8)
+        data[1, :1] = 1
+        data[2, :2] = 1
+        data[3, :3] = 1
+        query = np.zeros((1, d), dtype=np.uint8)
+        assert self._run(data, query, k_prime=4, group_size=4) == {0, 1, 2}
+
+    def test_tie_cohort_reports_together(self):
+        """Vectors at the same distance pulse on the same cycle and share
+        one LNC increment, so whole cohorts survive or die together."""
+        d = 8
+        data = np.zeros((4, d), dtype=np.uint8)
+        data[0, :2] = 1  # distance 2
+        data[1, :2] = 1  # distance 2 (tie)
+        data[2, 2:5] = 1  # distance 3
+        data[3, :] = 1  # distance 8
+        query = np.zeros((1, d), dtype=np.uint8)
+        got = self._run(data, query, k_prime=2, group_size=4)
+        assert got == {0, 1}
+
+    def test_groups_independent(self):
+        """Suppression in one group must not affect another group."""
+        d = 6
+        g1 = np.zeros((4, d), dtype=np.uint8)  # distances 0,0,0,0 (cohort)
+        g2 = np.ones((4, d), dtype=np.uint8)  # distances 6 each
+        g2[0, 0] = 0  # distance 5
+        data = np.vstack([g1, g2])
+        query = np.zeros((1, d), dtype=np.uint8)
+        got = self._run(data, query, k_prime=2, group_size=4)
+        assert got == {0, 1, 2, 3, 4}
+
+
+class TestReductionModel:
+    def test_table6_shape(self):
+        """Coarse Table VI reproduction at reduced trial counts: k'=1 always
+        fails, k'>=4 never fails, TagSpace's k'=2 fails most of the time."""
+        assert ReductionModel(64, 2, 1).incorrect_fraction(20, seed=1) == 1.0
+        assert ReductionModel(64, 2, 4).incorrect_fraction(20, seed=2) == 0.0
+        ts2 = ReductionModel(256, 16, 2).incorrect_fraction(30, seed=3)
+        assert ts2 > 0.4
+        sift3 = ReductionModel(128, 4, 3).incorrect_fraction(30, seed=4)
+        assert sift3 < 0.2
+
+    def test_trial_counts_reports(self):
+        model = ReductionModel(16, 2, 3, p=8, n=64)
+        rng = np.random.default_rng(0)
+        t = model.trial(rng)
+        assert t.reports_full == 64
+        assert 0 <= t.reports_sent < 64
+        assert t.measured_reduction >= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReductionModel(16, 2, 0)
+        with pytest.raises(ValueError):
+            ReductionModel(16, 2, 2, p=10, n=25)

@@ -1,0 +1,99 @@
+"""Tests for the symbol-stream codec and its timing algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.symbols import EOF, PAD, SOF
+from repro.core.stream import (
+    StreamLayout,
+    decode_report_offset,
+    encode_query,
+    encode_query_batch,
+)
+
+
+class TestLayout:
+    def test_block_length_fig3(self):
+        # d=4, depth 1: the 12-symbol stream of Fig. 3.
+        assert StreamLayout(4, 1).block_length == 12
+
+    def test_report_offset_monotone_decreasing_in_m(self):
+        lay = StreamLayout(16, 1)
+        offsets = [lay.report_offset(m) for m in range(17)]
+        assert offsets == sorted(offsets, reverse=True)
+        assert len(set(offsets)) == 17
+
+    def test_report_offset_inverse(self):
+        lay = StreamLayout(9, 2)
+        for m in range(10):
+            assert lay.inverted_hamming(lay.report_offset(m)) == m
+
+    def test_report_window_within_block(self):
+        lay = StreamLayout(7, 1)
+        assert lay.report_offset(0) == lay.eof_offset
+        assert lay.report_offset(lay.d) > lay.d + 1  # after the query phase
+
+    def test_invalid_offsets_rejected(self):
+        lay = StreamLayout(4, 1)
+        with pytest.raises(ValueError):
+            lay.inverted_hamming(0)
+        with pytest.raises(ValueError, match="inverted Hamming"):
+            lay.report_offset(5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamLayout(0)
+        with pytest.raises(ValueError):
+            StreamLayout(4, 0)
+
+
+class TestEncode:
+    def test_structure(self):
+        lay = StreamLayout(4, 1)
+        block = encode_query(np.array([1, 0, 0, 1]), lay)
+        assert block[0] == SOF and block[-1] == EOF
+        assert block[1:5].tolist() == [1, 0, 0, 1]
+        assert (block[5:-1] == PAD).all()
+        assert block.shape[0] == lay.block_length
+
+    def test_rejects_wrong_dim(self):
+        with pytest.raises(ValueError, match="dims"):
+            encode_query(np.array([1, 0]), StreamLayout(4))
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError, match="0/1"):
+            encode_query(np.array([1, 0, 2, 0]), StreamLayout(4))
+
+    def test_batch_concatenation(self):
+        lay = StreamLayout(3, 1)
+        qs = np.array([[1, 0, 1], [0, 0, 0]], dtype=np.uint8)
+        batch = encode_query_batch(qs, lay)
+        assert batch.shape[0] == 2 * lay.block_length
+        assert (batch[: lay.block_length] == encode_query(qs[0], lay)).all()
+        assert (batch[lay.block_length :] == encode_query(qs[1], lay)).all()
+
+    def test_batch_promotes_1d(self):
+        lay = StreamLayout(3, 1)
+        assert encode_query_batch(np.array([1, 0, 1]), lay).shape[0] == lay.block_length
+
+
+class TestDecode:
+    def test_decode_global_cycle(self):
+        lay = StreamLayout(5, 1)
+        for q in range(3):
+            for m in range(6):
+                cyc = q * lay.block_length + lay.report_offset(m)
+                qi, mi, dist = decode_report_offset(cyc, lay)
+                assert (qi, mi, dist) == (q, m, 5 - m)
+
+    @given(st.integers(1, 64), st.integers(1, 3), st.integers(0, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, d, depth, q_seed):
+        lay = StreamLayout(d, depth)
+        rng = np.random.default_rng(q_seed)
+        q = int(rng.integers(0, 50))
+        m = int(rng.integers(0, d + 1))
+        cyc = q * lay.block_length + lay.report_offset(m)
+        assert decode_report_offset(cyc, lay) == (q, m, d - m)

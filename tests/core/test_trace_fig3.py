@@ -1,0 +1,86 @@
+"""Experiment E1: reproduce the paper's Fig. 3 execution trace exactly.
+
+Fig. 3 steps through one combined Hamming + sorting macro encoding the
+vector {1,0,1,1} against the query {1,0,0,1} (d = 4):
+
+* the input stream is SOF, 1,0,0,1, six ^EOF pads, EOF — 12 symbols;
+* the counter's internal value per (1-indexed) time step reads
+  0,0,0,1,2,2,3,4,5,6,7,8;
+* "The counter activates at time step t = 8 and emits a single
+  activation pulse to the reporting state which activates the next
+  cycle (t = 9)."
+
+Our simulator is 0-indexed: figure step t corresponds to cycle t-1.
+"""
+
+import numpy as np
+
+from repro.automata.simulator import CompiledSimulator
+from repro.core.macros import build_knn_network
+from repro.core.stream import StreamLayout, decode_report_offset, encode_query
+
+VECTOR = np.array([1, 0, 1, 1], dtype=np.uint8)
+QUERY = np.array([1, 0, 0, 1], dtype=np.uint8)
+
+
+def run_fig3():
+    net, handles = build_knn_network(VECTOR[None, :])
+    layout = StreamLayout(4, handles[0].collector_depth)
+    sim = CompiledSimulator(net)
+    res = sim.run(encode_query(QUERY, layout), record_trace=True)
+    return net, handles[0], layout, sim, res
+
+
+class TestFig3:
+    def test_stream_is_twelve_symbols(self):
+        _, _, layout, _, _ = run_fig3()
+        assert layout.block_length == 12
+
+    def test_counter_value_sequence(self):
+        _, h, _, sim, res = run_fig3()
+        pos = sim._counter_pos(h.counter)
+        got = res.counter_trace[:, pos].tolist()
+        assert got == [0, 0, 0, 1, 2, 2, 3, 4, 5, 6, 7, 8]
+
+    def test_counter_pulses_at_figure_t8(self):
+        _, h, _, _, res = run_fig3()
+        ctr_cycles = res.activations_of(h.counter)
+        assert ctr_cycles.tolist() == [7]  # figure t = 8
+
+    def test_report_fires_at_figure_t9(self):
+        _, _, _, _, res = run_fig3()
+        assert [(r.code, r.cycle) for r in res.reports] == [(0, 8)]  # t = 9
+
+    def test_decoded_distance(self):
+        _, _, layout, _, res = run_fig3()
+        qi, m, dist = decode_report_offset(res.reports[0].cycle, layout)
+        assert qi == 0
+        assert m == 3  # inverted Hamming distance: 3 of 4 dims match
+        assert dist == 1
+
+    def test_guard_only_active_at_sof(self):
+        _, h, _, _, res = run_fig3()
+        assert res.activations_of(h.guard).tolist() == [0]
+
+    def test_match_state_activations(self):
+        # dims 0, 1, 3 match; each match state may only fire at its own
+        # query-symbol cycle (dimension i at cycle i+1).
+        _, h, _, _, res = run_fig3()
+        expected = {0: [1], 1: [2], 2: [], 3: [4]}
+        for i, name in enumerate(h.matches):
+            assert res.activations_of(name).tolist() == expected[i], name
+
+    def test_sort_state_spans_pad_phase(self):
+        _, h, _, _, res = run_fig3()
+        # figure t = 7..11 -> cycles 6..10 (EOF at cycle 11 deactivates it).
+        assert res.activations_of(h.sort_state).tolist() == [6, 7, 8, 9, 10]
+
+    def test_eof_state_resets_counter(self):
+        net, h, layout, sim, res = run_fig3()
+        assert res.activations_of(h.eof_state).tolist() == [11]
+        # Stream a second back-to-back query: the counter restarts at 0
+        # and the report offset is identical.
+        stream = np.concatenate([encode_query(QUERY, layout)] * 2)
+        res2 = sim.run(stream)
+        cycles = sorted(r.cycle for r in res2.reports)
+        assert cycles == [8, 8 + layout.block_length]

@@ -1,0 +1,74 @@
+"""Tests for the partition scheduler and its pipelining policies."""
+
+import pytest
+
+from repro.ap.device import GEN1, GEN2
+from repro.host.scheduler import POLICIES, schedule_knn_run
+from repro.perf.models import ap_gen1_model
+from repro.workloads.params import LARGE_N, N_QUERIES, WORKLOADS
+
+
+def wordembed_schedule(policy, device=GEN1):
+    w = WORKLOADS["kNN-WordEmbed"]
+    parts = LARGE_N // w.board_capacity
+    block = 2 * w.d + 1 + 3
+    return schedule_knn_run(
+        parts, N_QUERIES, w.d, block,
+        reports_per_partition=w.board_capacity * N_QUERIES,
+        device=device, policy=policy,
+    )
+
+
+class TestPolicies:
+    def test_query_overlap_reproduces_paper_model(self):
+        """The paper's AP row is the query-overlap schedule's makespan."""
+        w = WORKLOADS["kNN-WordEmbed"]
+        res = wordembed_schedule("query-overlap")
+        paper_model = ap_gen1_model().runtime_for(w, LARGE_N, N_QUERIES)
+        assert res.makespan_s == pytest.approx(paper_model, rel=0.01)
+
+    def test_policy_ordering(self):
+        times = {p: wordembed_schedule(p).makespan_s for p in POLICIES}
+        assert times["query-overlap"] <= times["async"] <= times["blocking"]
+
+    def test_gen1_insensitive_to_host_overlap(self):
+        """Reconfiguration dominates Gen 1: async ~ blocking."""
+        t_async = wordembed_schedule("async").makespan_s
+        t_block = wordembed_schedule("blocking").makespan_s
+        assert t_block / t_async < 1.25
+
+    def test_gen2_exposes_host_decode_bottleneck(self):
+        """On Gen 2 the full report stream makes the *host* the critical
+        path — the quantitative motivation for Section VI-C's
+        activation reduction."""
+        res = wordembed_schedule("query-overlap", device=GEN2)
+        host_busy = res.timeline.host_busy_s
+        device_busy = res.timeline.device_busy_s
+        assert host_busy > device_busy
+        # with a p/k' = 8x report reduction the device leads again
+        w = WORKLOADS["kNN-WordEmbed"]
+        parts = LARGE_N // w.board_capacity
+        reduced = schedule_knn_run(
+            parts, N_QUERIES, w.d, 2 * w.d + 4,
+            reports_per_partition=w.board_capacity * N_QUERIES // 8,
+            device=GEN2, policy="query-overlap",
+        )
+        assert reduced.timeline.host_busy_s < reduced.timeline.device_busy_s
+        assert reduced.makespan_s < res.makespan_s
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="policy"):
+            schedule_knn_run(1, 1, 4, 12, 1, policy="warp")
+        with pytest.raises(ValueError):
+            schedule_knn_run(0, 1, 4, 12, 1)
+
+    def test_first_configure_optional(self):
+        a = schedule_knn_run(1, 16, 4, 12, 16, charge_first_configure=True)
+        b = schedule_knn_run(1, 16, 4, 12, 16, charge_first_configure=False)
+        assert a.makespan_s > b.makespan_s
+        assert a.makespan_s - b.makespan_s == pytest.approx(45e-3, rel=0.01)
+
+    def test_device_utilization_bounded(self):
+        for p in POLICIES:
+            res = wordembed_schedule(p)
+            assert 0 < res.device_utilization <= 1.0

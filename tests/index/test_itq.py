@@ -1,0 +1,70 @@
+"""Tests for ITQ quantization."""
+
+import numpy as np
+import pytest
+
+from repro.index.itq import ITQQuantizer
+from repro.util.bitops import hamming_cdist_packed, pack_bits
+from repro.workloads.generators import gaussian_features
+
+
+class TestFit:
+    def test_output_shape_and_dtype(self):
+        X, _ = gaussian_features(200, 32, seed=0)
+        codes = ITQQuantizer(16, n_iterations=10).fit_transform(X)
+        assert codes.shape == (200, 16) and codes.dtype == np.uint8
+        assert set(np.unique(codes)) <= {0, 1}
+
+    def test_rotation_is_orthogonal(self):
+        X, _ = gaussian_features(150, 24, seed=1)
+        itq = ITQQuantizer(12, n_iterations=15).fit(X)
+        R = itq.rotation_
+        assert np.allclose(R @ R.T, np.eye(12), atol=1e-8)
+
+    def test_quantization_error_monotone_overall(self):
+        X, _ = gaussian_features(300, 40, seed=2)
+        itq = ITQQuantizer(24, n_iterations=30).fit(X)
+        errs = itq.quantization_errors_
+        assert errs[-1] <= errs[0]
+        # Procrustes alternation never increases the objective.
+        assert all(b - a < 1e-6 for a, b in zip(errs, errs[1:]))
+
+    def test_single_vector_transform(self):
+        X, _ = gaussian_features(100, 16, seed=3)
+        itq = ITQQuantizer(8, n_iterations=5).fit(X)
+        one = itq.transform(X[0])
+        assert one.shape == (8,)
+        assert (one == itq.transform(X[:1])[0]).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ITQQuantizer(0)
+        with pytest.raises(ValueError, match="exceeds"):
+            ITQQuantizer(64).fit(np.zeros((10, 8)))
+        with pytest.raises(RuntimeError, match="not fitted"):
+            ITQQuantizer(4).transform(np.zeros((2, 8)))
+        with pytest.raises(ValueError, match="2 samples"):
+            ITQQuantizer(2).fit(np.zeros((1, 8)))
+
+
+class TestRetrievalQuality:
+    def test_codes_preserve_cluster_structure(self):
+        """Points in the same cluster must end up closer in Hamming space
+        than points in different clusters — the property the paper's
+        pipeline depends on (Section II-A)."""
+        X, labels = gaussian_features(400, 64, n_clusters=8, cluster_std=0.15,
+                                      seed=4)
+        codes = ITQQuantizer(32, n_iterations=25).fit_transform(X)
+        packed = pack_bits(codes)
+        dist = hamming_cdist_packed(packed, packed).astype(float)
+        same = labels[:, None] == labels[None, :]
+        np.fill_diagonal(same, False)
+        diff = ~same
+        np.fill_diagonal(diff, False)
+        assert dist[same].mean() < 0.65 * dist[diff].mean()
+
+    def test_zero_iterations_is_pca_sign(self):
+        X, _ = gaussian_features(100, 16, seed=5)
+        itq = ITQQuantizer(8, n_iterations=0).fit(X)
+        codes = itq.transform(X)
+        assert codes.shape == (100, 8)

@@ -1,0 +1,117 @@
+"""Cross-module property tests: independent paths must agree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.anml import parse_anml, to_anml
+from repro.automata.network import ValidationError
+from repro.automata.reference import reference_run
+from repro.automata.simulator import CompiledSimulator
+from repro.core.engine import APSimilaritySearch
+from repro.core.multiboard import MultiBoardSearch
+from tests.automata.test_reference_differential import random_network
+
+
+class TestAnmlRoundTripFuzz:
+    @given(st.integers(0, 5000), st.integers(1, 25))
+    @settings(max_examples=30, deadline=None)
+    def test_serialized_network_behaves_identically(self, seed, stream_len):
+        """ANML round-trip over random networks preserves behaviour,
+        not just structure."""
+        rng = np.random.default_rng(seed)
+        net = random_network(rng)
+        try:
+            net.validate()
+        except ValidationError:
+            return
+        net2 = parse_anml(to_anml(net))
+        stream = rng.integers(0, 4, size=stream_len).astype(np.uint8)
+        r1 = sorted((r.cycle, r.code) for r in CompiledSimulator(net).run(stream).reports)
+        r2 = sorted((r.cycle, r.code) for r in CompiledSimulator(net2).run(stream).reports)
+        assert r1 == r2
+
+    @given(st.integers(0, 5000), st.integers(1, 25))
+    @settings(max_examples=15, deadline=None)
+    def test_parsed_network_agrees_with_reference(self, seed, stream_len):
+        rng = np.random.default_rng(seed)
+        net = random_network(rng)
+        try:
+            net.validate()
+        except ValidationError:
+            return
+        net2 = parse_anml(to_anml(net))
+        stream = rng.integers(0, 4, size=stream_len).astype(np.uint8)
+        fast = sorted(
+            (r.cycle, r.code) for r in CompiledSimulator(net2).run(stream).reports
+        )
+        ref = [(r.cycle, r.code) for r in reference_run(net2, stream)]
+        assert fast == ref
+
+
+class TestShardingInvariance:
+    @given(st.integers(10, 60), st.integers(2, 12), st.integers(1, 5),
+           st.integers(1, 4), st.integers(0, 999))
+    @settings(max_examples=15, deadline=None)
+    def test_multiboard_equals_single_engine(self, n, d, k, n_devices, seed):
+        """Sharding across devices is invisible in the results."""
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 2, (n, d), dtype=np.uint8)
+        queries = rng.integers(0, 2, (3, d), dtype=np.uint8)
+        single = APSimilaritySearch(data, k=k, board_capacity=max(1, n // 3),
+                                    execution="functional").search(queries)
+        multi = MultiBoardSearch(data, k=k, n_devices=min(n_devices, n),
+                                 board_capacity=max(1, n // 5)).search(queries)
+        assert (single.indices == multi.indices).all()
+        assert (single.distances == multi.distances).all()
+
+
+class TestPartitionInvariance:
+    @given(st.integers(5, 40), st.integers(2, 10), st.integers(1, 20),
+           st.integers(0, 999))
+    @settings(max_examples=20, deadline=None)
+    def test_capacity_never_changes_results(self, n, d, cap, seed):
+        """Board capacity is a pure performance knob."""
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 2, (n, d), dtype=np.uint8)
+        queries = rng.integers(0, 2, (2, d), dtype=np.uint8)
+        base = APSimilaritySearch(data, k=3, board_capacity=n,
+                                  execution="functional").search(queries)
+        split = APSimilaritySearch(data, k=3, board_capacity=min(cap, n),
+                                   execution="functional").search(queries)
+        assert (base.indices == split.indices).all()
+        assert (base.distances == split.distances).all()
+
+
+class TestOptimizerOnEveryDesign:
+    @pytest.mark.parametrize("builder", ["knn", "packed", "range", "jaccard"])
+    def test_optimize_preserves_all_core_designs(self, builder, rng):
+        from repro.automata.optimize import optimize
+        from repro.core.jaccard import JaccardAPSearch
+        from repro.core.macros import build_knn_network
+        from repro.core.packing import build_packed_network
+        from repro.core.range_search import HammingRangeSearch
+        from repro.core.stream import StreamLayout, encode_query_batch
+
+        data = rng.integers(0, 2, (8, 10), dtype=np.uint8)
+        queries = rng.integers(0, 2, (2, 10), dtype=np.uint8)
+        if builder == "knn":
+            net, _ = build_knn_network(data)
+            stream = encode_query_batch(queries, StreamLayout(10, 1))
+        elif builder == "packed":
+            net, _ = build_packed_network(data, group_size=4)
+            stream = encode_query_batch(queries, StreamLayout(10, 1))
+        elif builder == "range":
+            rs = HammingRangeSearch(data, radius=3)
+            net = rs.build_network()
+            stream = rs.encode_queries(queries)
+        else:
+            js = JaccardAPSearch(data, k=3)
+            net = js.build_network()
+            stream = encode_query_batch(queries, js.layout)
+        opt, stats = optimize(net)
+        r1 = sorted((r.cycle, r.code) for r in CompiledSimulator(net).run(stream).reports)
+        r2 = sorted((r.cycle, r.code) for r in CompiledSimulator(opt).run(stream).reports)
+        assert r1 == r2
+        assert stats.stes_after <= stats.stes_before

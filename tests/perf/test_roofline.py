@@ -1,0 +1,66 @@
+"""Tests for the data-movement analysis."""
+
+import pytest
+
+from repro.perf.roofline import MovementProfile, ap_profile, von_neumann_profile
+from repro.workloads.params import LARGE_N, N_QUERIES, WORKLOADS
+
+
+class TestProfiles:
+    def test_von_neumann_dataset_dominates(self):
+        w = WORKLOADS["kNN-SIFT"]
+        p = von_neumann_profile(LARGE_N, w.d, N_QUERIES, w.k)
+        assert p.bytes_in > 0.9 * LARGE_N * w.d / 8
+        assert p.amplification > 100  # the Section I bottleneck
+
+    def test_ap_moves_dataset_once_per_configuration(self):
+        w = WORKLOADS["kNN-SIFT"]
+        p1 = ap_profile(w.board_capacity, w.d, N_QUERIES, w.k, configurations=1)
+        p2 = ap_profile(w.board_capacity, w.d, N_QUERIES, w.k, configurations=2)
+        assert p2.bytes_in - p1.bytes_in == pytest.approx(w.board_capacity * w.d / 8)
+
+    def test_reduction_shrinks_report_traffic(self):
+        w = WORKLOADS["kNN-TagSpace"]
+        full = ap_profile(w.board_capacity, w.d, N_QUERIES, w.k)
+        reduced = ap_profile(
+            w.board_capacity, w.d, N_QUERIES, w.k,
+            reports_per_query=w.board_capacity / 8,  # p/k' = 8x (Section VI-C)
+        )
+        assert reduced.bytes_out == pytest.approx(full.bytes_out / 8)
+        assert reduced.amplification < full.amplification
+
+    def test_all_report_design_is_report_dominated_at_scale(self):
+        """At n = 2^20 the plain all-report design moves far more report
+        bytes than the dataset itself — the quantitative reason
+        Section VI-C exists."""
+        w = WORKLOADS["kNN-WordEmbed"]
+        ap = ap_profile(LARGE_N, w.d, N_QUERIES, w.k, configurations=1)
+        assert ap.bytes_out > 100 * ap.bytes_in
+
+    def test_ap_beats_von_neumann_with_sparse_reporting(self):
+        """The paper's core pitch ("this data is used only once per kNN
+        query and discarded"): amortized over many query batches, the AP
+        configures the dataset once while a von Neumann machine streams
+        it per batch (SIFT at 2^20 is 16 MB packed — beyond cache), and
+        with sparse reporting the AP moves orders of magnitude less."""
+        w = WORKLOADS["kNN-SIFT"]
+        batches = 100
+        vn = von_neumann_profile(
+            LARGE_N, w.d, batches * N_QUERIES, w.k, passes=batches
+        )
+        ap = ap_profile(
+            LARGE_N, w.d, batches * N_QUERIES, w.k,
+            reports_per_query=2 * w.k,  # filter-style sparse reports
+            configurations=1,  # dataset pinned in the fabric
+        )
+        assert ap.amplification < vn.amplification / 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            von_neumann_profile(0, 8, 1, 1)
+        with pytest.raises(ValueError):
+            ap_profile(1, 8, 1, 1, configurations=-1)
+
+    def test_amplification_edge(self):
+        p = MovementProfile("x", 10, 10, 0)
+        assert p.amplification == float("inf")

@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def dataset_files(tmp_path, rng):
+    data = rng.integers(0, 2, (64, 16), dtype=np.uint8)
+    queries = rng.integers(0, 2, (4, 16), dtype=np.uint8)
+    d, q = tmp_path / "data.npy", tmp_path / "queries.npy"
+    np.save(d, data)
+    np.save(q, queries)
+    return str(d), str(q), data, queries
+
+
+class TestSearch:
+    def test_search_prints_results(self, dataset_files, capsys):
+        d, q, data, queries = dataset_files
+        assert main(["search", d, q, "-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "4 queries, k=3" in out
+        assert out.count("q") >= 4
+
+    def test_search_saves_indices(self, dataset_files, tmp_path):
+        d, q, data, queries = dataset_files
+        out = tmp_path / "idx.npy"
+        main(["search", d, q, "-k", "2", "--out", str(out)])
+        idx = np.load(out)
+        assert idx.shape == (4, 2)
+        # verify against the library directly
+        from repro.core.engine import APSimilaritySearch
+
+        ref = APSimilaritySearch(data, k=2, execution="functional").search(queries)
+        assert (idx == ref.indices).all()
+
+    def test_gen2_flag(self, dataset_files, capsys):
+        d, q, *_ = dataset_files
+        main(["search", d, q, "--device", "gen2"])
+        assert "gen2 device time" in capsys.readouterr().out
+
+
+class TestCompileSimulate:
+    def test_compile_to_stdout(self, capsys):
+        assert main(["compile", "ab+c"]) == 0
+        out = capsys.readouterr().out
+        assert "<automata-network" in out
+
+    def test_compile_simulate_roundtrip(self, tmp_path, capsys):
+        anml = tmp_path / "net.anml"
+        main(["compile", "GAATTC", "--report-code", "7", "--out", str(anml)])
+        stream = tmp_path / "input.txt"
+        stream.write_bytes(b"xxGAATTCyyGAATTC")
+        main(["simulate", str(anml), str(stream)])
+        out = capsys.readouterr().out
+        assert "2 reports" in out
+        assert "cycle=7 code=7" in out and "cycle=15 code=7" in out
+
+    def test_compile_optimized(self, capsys):
+        assert main(["compile", "a(b|b)c", "--optimize"]) == 0
+        err = capsys.readouterr().err
+        assert "optimized" in err
+
+    def test_simulate_limit(self, tmp_path, capsys):
+        anml = tmp_path / "net.anml"
+        main(["compile", "a", "--out", str(anml)])
+        stream = tmp_path / "aaa.txt"
+        stream.write_bytes(b"a" * 30)
+        main(["simulate", str(anml), str(stream), "--limit", "5"])
+        out = capsys.readouterr().out
+        assert "(25 more)" in out
+
+
+class TestTables:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Xeon E5-2620" in out and "kNN-TagSpace" in out

@@ -1,0 +1,140 @@
+"""Unit + property tests for bit packing and Hamming distances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.bitops import (
+    hamming_cdist_packed,
+    hamming_distance_packed,
+    hamming_distance_unpacked,
+    pack_bits,
+    popcount_u64,
+    random_binary_vectors,
+    unpack_bits,
+)
+
+
+class TestPackUnpack:
+    def test_roundtrip_basic(self):
+        bits = np.array([[1, 0, 1, 1, 0]], dtype=np.uint8)
+        packed = pack_bits(bits)
+        assert packed.shape == (1, 1)
+        assert (unpack_bits(packed, 5) == bits).all()
+
+    def test_bit_positions_little_endian(self):
+        bits = np.zeros((1, 64), dtype=np.uint8)
+        bits[0, 0] = 1
+        assert pack_bits(bits)[0, 0] == 1
+        bits = np.zeros((1, 64), dtype=np.uint8)
+        bits[0, 63] = 1
+        assert pack_bits(bits)[0, 0] == np.uint64(1) << np.uint64(63)
+
+    def test_multi_word(self):
+        bits = np.ones((2, 130), dtype=np.uint8)
+        packed = pack_bits(bits)
+        assert packed.shape == (2, 3)
+        assert (unpack_bits(packed, 130) == bits).all()
+
+    def test_1d_input_promoted(self):
+        packed = pack_bits(np.array([1, 1, 0], dtype=np.uint8))
+        assert packed.shape == (1, 1)
+        assert packed[0, 0] == 3
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError, match="only 0 and 1"):
+            pack_bits(np.array([[0, 2]], dtype=np.uint8))
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.zeros((2, 2, 2), dtype=np.uint8))
+
+    def test_unpack_d_too_large(self):
+        with pytest.raises(ValueError, match="exceeds capacity"):
+            unpack_bits(np.zeros((1, 1), dtype=np.uint64), 65)
+
+    @given(st.integers(1, 8), st.integers(1, 200), st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, n, d, seed):
+        bits = random_binary_vectors(n, d, seed)
+        assert (unpack_bits(pack_bits(bits), d) == bits).all()
+
+
+class TestPopcount:
+    def test_known_values(self):
+        words = np.array([0, 1, 3, 0xFF, 2**64 - 1], dtype=np.uint64)
+        assert popcount_u64(words).tolist() == [0, 1, 2, 8, 64]
+
+    def test_shape_preserved(self):
+        words = np.zeros((3, 4), dtype=np.uint64)
+        assert popcount_u64(words).shape == (3, 4)
+
+    @given(st.lists(st.integers(0, 2**64 - 1), min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_python_bitcount(self, values):
+        words = np.array(values, dtype=np.uint64)
+        expected = [int(v).bit_count() for v in values]
+        assert popcount_u64(words).tolist() == expected
+
+
+class TestHammingDistance:
+    def test_zero_distance(self):
+        a = random_binary_vectors(4, 40, 0)
+        pa = pack_bits(a)
+        assert (hamming_distance_packed(pa, pa) == 0).all()
+
+    def test_max_distance(self):
+        a = np.zeros((1, 70), dtype=np.uint8)
+        b = np.ones((1, 70), dtype=np.uint8)
+        assert hamming_distance_packed(pack_bits(a), pack_bits(b))[0] == 70
+
+    def test_packed_matches_unpacked(self):
+        a = random_binary_vectors(10, 100, 1)
+        b = random_binary_vectors(10, 100, 2)
+        assert (
+            hamming_distance_packed(pack_bits(a), pack_bits(b))
+            == hamming_distance_unpacked(a, b)
+        ).all()
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            hamming_distance_packed(
+                np.zeros((1, 1), dtype=np.uint64), np.zeros((1, 2), dtype=np.uint64)
+            )
+
+    def test_cdist_matches_rowwise(self):
+        a = random_binary_vectors(5, 33, 3)
+        b = random_binary_vectors(7, 33, 4)
+        cd = hamming_cdist_packed(pack_bits(a), pack_bits(b))
+        assert cd.shape == (5, 7)
+        for i in range(5):
+            for j in range(7):
+                assert cd[i, j] == hamming_distance_unpacked(a[i], b[j])
+
+    def test_cdist_word_mismatch(self):
+        with pytest.raises(ValueError, match="word-count mismatch"):
+            hamming_cdist_packed(
+                np.zeros((1, 1), dtype=np.uint64), np.zeros((2, 2), dtype=np.uint64)
+            )
+
+    @given(st.integers(1, 6), st.integers(1, 6), st.integers(1, 150), st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_cdist_symmetry_and_triangle(self, na, nb, d, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 2, (na, d), dtype=np.uint8)
+        b = rng.integers(0, 2, (nb, d), dtype=np.uint8)
+        ab = hamming_cdist_packed(pack_bits(a), pack_bits(b))
+        ba = hamming_cdist_packed(pack_bits(b), pack_bits(a))
+        assert (ab == ba.T).all()
+        assert (ab >= 0).all() and (ab <= d).all()
+
+
+class TestRandomVectors:
+    def test_shape_and_values(self):
+        v = random_binary_vectors(9, 17, 0)
+        assert v.shape == (9, 17)
+        assert set(np.unique(v)) <= {0, 1}
+
+    def test_seed_determinism(self):
+        assert (random_binary_vectors(5, 5, 42) == random_binary_vectors(5, 5, 42)).all()

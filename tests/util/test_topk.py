@@ -1,0 +1,133 @@
+"""Tests for top-k selection, the bounded priority queue, and merging."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.topk import BoundedPriorityQueue, merge_topk, topk_from_distances
+
+
+def reference_topk(distances, k):
+    order = sorted(range(len(distances)), key=lambda i: (distances[i], i))[:k]
+    return order
+
+
+class TestTopkFromDistances:
+    def test_basic(self):
+        idx, dist = topk_from_distances(np.array([5, 1, 3, 1]), 2)
+        assert idx.tolist() == [1, 3]
+        assert dist.tolist() == [1, 1]
+
+    def test_boundary_ties_resolved_by_index(self):
+        # Four entries tie at the k-th distance; the smallest indices win.
+        d = np.array([2, 9, 2, 2, 2, 0])
+        idx, _ = topk_from_distances(d, 3)
+        assert idx.tolist() == [5, 0, 2]
+
+    def test_k_clipped(self):
+        idx, dist = topk_from_distances(np.array([3, 1]), 10)
+        assert idx.tolist() == [1, 0]
+
+    def test_k_zero(self):
+        idx, dist = topk_from_distances(np.array([3, 1]), 0)
+        assert idx.size == 0 and dist.size == 0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            topk_from_distances(np.zeros((2, 2)), 1)
+
+    @given(
+        st.lists(st.integers(0, 10), min_size=1, max_size=60),
+        st.integers(1, 10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_reference(self, values, k):
+        d = np.array(values)
+        idx, dist = topk_from_distances(d, k)
+        assert idx.tolist() == reference_topk(values, k)
+        assert (dist == d[idx]).all()
+
+
+class TestBoundedPriorityQueue:
+    def test_keeps_k_smallest(self):
+        pq = BoundedPriorityQueue(3)
+        for i, d in enumerate([9, 2, 7, 1, 8, 3]):
+            pq.push(d, i)
+        assert pq.sorted_items() == [(3, 1.0), (1, 2.0), (5, 3.0)]
+
+    def test_worst_distance_tracks_heap_top(self):
+        pq = BoundedPriorityQueue(2)
+        assert pq.worst_distance == float("inf")
+        pq.push(5, 0)
+        assert pq.worst_distance == float("inf")  # still under capacity
+        pq.push(3, 1)
+        assert pq.worst_distance == 5
+        pq.push(1, 2)
+        assert pq.worst_distance == 3
+
+    def test_tie_break_prefers_smaller_index(self):
+        pq = BoundedPriorityQueue(1)
+        pq.push(4, 7)
+        kept = pq.push(4, 2)  # same distance, smaller index: replaces
+        assert kept
+        assert pq.sorted_items() == [(2, 4.0)]
+        assert not pq.push(4, 9)
+
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(ValueError):
+            BoundedPriorityQueue(0)
+
+    @given(
+        st.lists(st.integers(0, 12), min_size=1, max_size=60),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_topk(self, values, k):
+        pq = BoundedPriorityQueue(k)
+        for i, d in enumerate(values):
+            pq.push(d, i)
+        got = [i for i, _ in pq.sorted_items()]
+        assert got == reference_topk(values, k)
+
+
+class TestMergeTopk:
+    def test_merges_partitions(self):
+        p1 = (np.array([0, 3]), np.array([5, 2]))
+        p2 = (np.array([7, 9]), np.array([1, 5]))
+        idx, dist = merge_topk([p1, p2], 3)
+        assert idx.tolist() == [7, 3, 0]
+        assert dist.tolist() == [1, 2, 5]
+
+    def test_tie_break_across_partitions(self):
+        p1 = (np.array([8]), np.array([4]))
+        p2 = (np.array([2]), np.array([4]))
+        idx, _ = merge_topk([p1, p2], 1)
+        assert idx.tolist() == [2]
+
+    def test_empty(self):
+        idx, dist = merge_topk([], 5)
+        assert idx.size == 0
+
+    @given(
+        st.lists(
+            st.lists(st.tuples(st.integers(0, 99), st.integers(0, 20)), max_size=10),
+            min_size=1,
+            max_size=5,
+        ),
+        st.integers(1, 6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_equivalent_to_global_sort(self, partition_data, k):
+        partials, flat = [], []
+        for part in partition_data:
+            if not part:
+                continue
+            idx = np.array([i for i, _ in part], dtype=np.int64)
+            dist = np.array([d for _, d in part])
+            partials.append((idx, dist))
+            flat.extend(part)
+        got_idx, got_dist = merge_topk(partials, k)
+        expected = sorted(flat, key=lambda t: (t[1], t[0]))[:k]
+        assert got_idx.tolist() == [i for i, _ in expected]
+        assert got_dist.tolist() == [d for _, d in expected]
