@@ -13,6 +13,10 @@ Subpackages
     The paper's contribution: Hamming + temporal-sort macros, symbol
     streams, the partitioned kNN engine, and the Section VI automata
     optimizations (packing, multiplexing, activation reduction).
+``repro.host``
+    Host-side stack: the simulated-time driver/scheduler timelines and
+    the sharded parallel partition-execution layer that fans board
+    partitions across worker processes.
 ``repro.baselines``
     CPU / GPU / FPGA comparison implementations.
 ``repro.index``
@@ -31,6 +35,12 @@ Quickstart::
     engine = APSimilaritySearch(data, k=2)
     result = engine.search(queries)
     print(result.indices, result.distances)
+
+Production knobs: ``APSimilaritySearch(..., parallel=4)`` executes
+board partitions across four worker processes (results bit-identical
+to sequential execution), and ``cache=True`` (or a shared
+:class:`repro.ap.compiler.BoardImageCache`) reuses compiled board
+images across repeated searches and overlapping shards.
 """
 
 from .core.engine import APSimilaritySearch, KnnResult

@@ -30,8 +30,13 @@ experiment can show "placed but only partially routed" outcomes.
 
 from __future__ import annotations
 
+import hashlib
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+import numpy as np
 
 from ..automata.elements import STE, BooleanElement, Counter
 from ..automata.network import AutomataNetwork
@@ -43,6 +48,10 @@ __all__ = [
     "ComponentPlacement",
     "CompilationReport",
     "APCompiler",
+    "BoardImageCache",
+    "CacheStats",
+    "dataset_digest",
+    "partition_cache_key",
 ]
 
 
@@ -274,3 +283,114 @@ class APCompiler:
         if per_half_core < 1:
             raise CompileError("template does not fit in one half core")
         return per_half_core * self.device.half_cores
+
+
+# -- compiled board-image cache ------------------------------------------
+
+
+def dataset_digest(dataset_bits: np.ndarray) -> str:
+    """Content hash of a binary partition (shape-disambiguated)."""
+    dataset_bits = np.ascontiguousarray(dataset_bits, dtype=np.uint8)
+    h = hashlib.sha1()
+    h.update(np.int64(dataset_bits.shape[0]).tobytes())
+    h.update(np.int64(dataset_bits.shape[1]).tobytes())
+    h.update(dataset_bits.tobytes())
+    return h.hexdigest()
+
+
+def partition_cache_key(
+    dataset_bits: np.ndarray | None,
+    macro_config: Hashable,
+    device: APDeviceSpec,
+    extra: tuple = (),
+    *,
+    digest: str | None = None,
+) -> tuple:
+    """Content-addressed cache key for one compiled board partition.
+
+    The key is ``(sha1(partition bytes + shape), macro_config, device,
+    *extra)``: identical partition *content* compiled under the same
+    macro parameters for the same device generation hashes to the same
+    key — regardless of where the partition sits in its engine's
+    dataset — so overlapping shards and repeated ``search`` calls
+    share compiled artifacts.  Cached artifacts must therefore be
+    position-independent: the engine compiles partitions with
+    partition-local report codes and re-bases them at decode time.
+    ``extra`` disambiguates artifact flavors the same content can
+    produce (``"image"`` vs ``"functional"`` back-ends); ``digest``
+    lets callers reuse a precomputed :func:`dataset_digest` instead of
+    re-hashing the bytes on every lookup.
+    """
+    if digest is None:
+        if dataset_bits is None:
+            raise ValueError("need dataset_bits or a precomputed digest")
+        digest = dataset_digest(dataset_bits)
+    return (digest, macro_config, device, *extra)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction accounting for a :class:`BoardImageCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class BoardImageCache:
+    """LRU-bounded cache of compiled board artifacts (Section III-C).
+
+    The paper assumes partition images are "precompiled into a set of
+    board images"; this cache is the in-memory version of that
+    assumption for a long-lived service: the first ``search`` over a
+    partition pays compilation (network build, placement, simulator
+    construction), every later search — including searches by *other*
+    engines sharing the cache over overlapping shards — reuses the
+    artifact.  Keys come from :func:`partition_cache_key`; values are
+    opaque (the engine stores :class:`~repro.ap.runtime.BoardImage`
+    objects for the cycle-accurate back-end and functional boards for
+    the fast one).  Eviction is least-recently-used.
+    """
+
+    DEFAULT_MAX_ENTRIES = 64
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = int(max_entries)
+        self._entries: OrderedDict[tuple, Any] = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def get(self, key: tuple) -> Any | None:
+        """Return the cached artifact or None; a hit refreshes recency."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: tuple, value: Any) -> None:
+        """Insert (or refresh) an artifact, evicting the LRU entry if full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -23,10 +23,10 @@ import numpy as np
 
 from ..automata.network import AutomataNetwork
 from ..automata.simulator import CompiledSimulator, Report
-from .compiler import APCompiler, CompilationReport
+from .compiler import APCompiler, BoardImageCache, CompilationReport
 from .device import APDeviceSpec, GEN1
 
-__all__ = ["BoardImage", "RuntimeCounters", "APRuntime"]
+__all__ = ["BoardImage", "RuntimeCounters", "APRuntime", "REPORT_RECORD_BITS"]
 
 
 @dataclass
@@ -48,18 +48,26 @@ class RuntimeCounters:
     symbols_streamed: int = 0
     reports_received: int = 0
     report_payload_bits: int = 0
+    # Board images served from a compile cache instead of recompiled.
+    # Cache hits still pay the (re)configuration latency — only the
+    # offline compile step is skipped — so they are counted separately.
+    image_cache_hits: int = 0
 
     def merge(self, other: "RuntimeCounters") -> None:
         self.configurations += other.configurations
         self.symbols_streamed += other.symbols_streamed
         self.reports_received += other.reports_received
         self.report_payload_bits += other.report_payload_bits
+        self.image_cache_hits += other.image_cache_hits
 
 
 # The paper's report encoding estimate (Section VI-C): a sparse-vector
 # encoding with 32-bit identifiers plus 32-bit offsets.
 _REPORT_ID_BITS = 32
 _REPORT_OFFSET_BITS = 32
+# Bits per report record crossing the PCIe link; every back-end that
+# accounts report_payload_bits must use this one constant.
+REPORT_RECORD_BITS = _REPORT_ID_BITS + _REPORT_OFFSET_BITS
 
 
 class APRuntime:
@@ -95,6 +103,32 @@ class APRuntime:
             metadata=metadata,
         )
 
+    def build_image_cached(
+        self,
+        network_factory,
+        cache: "BoardImageCache | None" = None,
+        key: tuple | None = None,
+        name: str | None = None,
+        **metadata,
+    ) -> BoardImage:
+        """Build a board image through an optional compile cache.
+
+        ``network_factory`` is a zero-argument callable producing the
+        :class:`~repro.automata.network.AutomataNetwork`; on a cache hit
+        it is never invoked, so callers skip network construction *and*
+        compilation.  Without ``cache``/``key`` this degrades to
+        :meth:`build_image`.
+        """
+        if cache is not None and key is not None:
+            image = cache.get(key)
+            if image is not None:
+                self.counters.image_cache_hits += 1
+                return image
+        image = self.build_image(network_factory(), name=name, **metadata)
+        if cache is not None and key is not None:
+            cache.put(key, image)
+        return image
+
     def configure(self, image: BoardImage) -> None:
         """Load a board image, paying one (re)configuration."""
         self._current = image
@@ -114,9 +148,7 @@ class APRuntime:
         result = self._current.simulator.run(symbols)
         self.counters.symbols_streamed += int(symbols.shape[0])
         self.counters.reports_received += len(result.reports)
-        self.counters.report_payload_bits += len(result.reports) * (
-            _REPORT_ID_BITS + _REPORT_OFFSET_BITS
-        )
+        self.counters.report_payload_bits += len(result.reports) * REPORT_RECORD_BITS
         return result.reports
 
     # -- derived quantities ---------------------------------------------

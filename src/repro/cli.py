@@ -32,6 +32,15 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("-k", type=int, default=10, help="neighbors per query")
     s.add_argument("--device", choices=["gen1", "gen2"], default="gen1")
     s.add_argument("--board-capacity", type=int, default=None)
+    s.add_argument("--workers", type=int, default=1,
+                   help="worker processes for sharded partition execution "
+                        "(1 = sequential)")
+    s.add_argument("--cache-size", type=int, default=0,
+                   help="LRU board-image cache capacity (0 = no cache); "
+                        "the cache is in-process, so it only accelerates "
+                        "sequential runs (--workers 1)")
+    s.add_argument("--execution", choices=["auto", "simulate", "functional"],
+                   default="auto")
     s.add_argument("--out", default=None, help="save indices to this .npy")
 
     c = sub.add_parser("compile", help="compile a PCRE pattern to ANML")
@@ -64,13 +73,24 @@ def _cmd_search(args) -> int:
         k=args.k,
         device=device,
         board_capacity=args.board_capacity,
+        execution=args.execution,
+        parallel=args.workers,
+        cache=args.cache_size,  # <= 0 disables caching
     )
     result = engine.search(queries.astype(np.uint8))
     print(f"# {queries.shape[0]} queries, k={result.k}, "
-          f"{result.n_partitions} partition(s), mode={result.execution}")
+          f"{result.n_partitions} partition(s), mode={result.execution}, "
+          f"workers={result.n_workers}")
     print(f"# board loads={result.counters.configurations} "
           f"symbols={result.counters.symbols_streamed} "
           f"reports={result.counters.reports_received}")
+    if engine.cache is not None:
+        st = engine.cache.stats
+        note = (" (idle: parallel workers rebuild their own artifacts)"
+                if result.n_workers > 1 else "")
+        print(f"# image cache: {len(engine.cache)} entries, "
+              f"{st.hits} hits / {st.misses} misses, "
+              f"{st.evictions} evictions{note}")
     est = engine.estimated_runtime_s(queries.shape[0])
     print(f"# estimated {args.device} device time: {est * 1e3:.3f} ms")
     for qi in range(min(queries.shape[0], 10)):

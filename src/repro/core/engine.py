@@ -16,6 +16,20 @@ full flow of Section III:
 4. merge per-partition candidates into the global top-k while queries
    stream against the next board image.
 
+Two production levers sit on top of that flow:
+
+* ``parallel=`` fans independent partitions out across worker
+  processes (:mod:`repro.host.parallel`); results stream back through
+  the same decode/merge path in partition order, so sharded answers
+  are bit-identical to sequential ones and
+  :class:`~repro.ap.runtime.RuntimeCounters` aggregation stays exact.
+* ``cache=`` keeps compiled per-partition artifacts in an LRU
+  :class:`~repro.ap.compiler.BoardImageCache` keyed by partition
+  content + macro config + device, so repeated ``search`` calls — and
+  other engines sharing the cache over overlapping shards — skip
+  recompilation (the in-memory version of the paper's "precompiled
+  board images" assumption).
+
 The engine reports functional results plus the runtime event counters
 (:class:`~repro.ap.runtime.RuntimeCounters`) that the performance
 models consume.
@@ -27,35 +41,137 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..ap.compiler import APCompiler
+from ..ap.compiler import (
+    APCompiler,
+    BoardImageCache,
+    dataset_digest,
+    partition_cache_key,
+)
 from ..ap.device import APDeviceSpec, GEN1
-from ..ap.runtime import APRuntime, RuntimeCounters
+from ..ap.runtime import APRuntime, REPORT_RECORD_BITS, RuntimeCounters
+from ..host.parallel import ParallelConfig, PartitionTask, run_partitions
 from ..perf.models import APModel
 from ..util.topk import merge_topk
 from .functional import FunctionalKnnBoard
 from .macros import MacroConfig, build_knn_network, collector_tree_depth
 from .stream import StreamLayout, decode_report_offset, encode_query_batch
 
-__all__ = ["KnnResult", "APSimilaritySearch"]
+__all__ = [
+    "KnnResult",
+    "APSimilaritySearch",
+    "build_functional_board",
+    "run_partition_functional",
+    "run_partition_simulated",
+]
 
-# Above this many (state x cycle) operations per partition pass the
-# engine auto-switches from cycle simulation to the functional model.
+# Above this many total (state x cycle) operations across all partition
+# passes the engine auto-switches from cycle simulation to the
+# functional model.
 _AUTO_SIM_LIMIT = 50_000_000
+
+# Index/distance used to pad result rows when a back-end legally
+# produces fewer than k candidates for a query (see KnnResult).
+PAD_INDEX = -1
+PAD_DISTANCE = -1
+
+
+# -- shared per-partition back-ends ---------------------------------------
+#
+# One implementation serves both the engine's sequential loop and the
+# parallel workers (repro.host.parallel), so sharded execution stays
+# bit-identical to sequential execution by construction rather than by
+# keeping two copies in sync.  Both back-ends produce partition-LOCAL
+# report codes (position-independent, required for content-addressed
+# image caching) and re-base them to global dataset indices before
+# returning.
+
+
+def run_partition_simulated(
+    dataset_slice: np.ndarray,
+    queries: np.ndarray,
+    layout: StreamLayout,
+    macro_config: MacroConfig,
+    device: APDeviceSpec,
+    start: int,
+    end: int,
+    cache: BoardImageCache | None = None,
+    cache_key: tuple | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, RuntimeCounters]:
+    """One partition through the cycle-accurate back-end.
+
+    Returns ``(q_idx, codes, cycles, counters)`` with globally re-based
+    codes and this partition's counter delta.
+    """
+    runtime = APRuntime(device)
+    image = runtime.build_image_cached(
+        lambda: build_knn_network(
+            dataset_slice,
+            config=macro_config,
+            name=f"partition{start}",
+            report_code_base=0,
+        )[0],
+        cache=cache,
+        key=cache_key,
+        partition=(start, end),
+    )
+    runtime.configure(image)
+    reports = runtime.stream(encode_query_batch(queries, layout))
+    q_idx = np.array([r.cycle // layout.block_length for r in reports])
+    codes = np.array([r.code for r in reports], dtype=np.int64) + start
+    cycles = np.array([r.cycle for r in reports], dtype=np.int64)
+    return q_idx, codes, cycles, runtime.counters
+
+
+def build_functional_board(
+    dataset_slice: np.ndarray, layout: StreamLayout
+) -> FunctionalKnnBoard:
+    """Position-independent (cacheable) functional board for a partition."""
+    return FunctionalKnnBoard(dataset_slice, layout, report_code_base=0)
+
+
+def run_partition_functional(
+    board: FunctionalKnnBoard,
+    queries: np.ndarray,
+    layout: StreamLayout,
+    start: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, RuntimeCounters]:
+    """One partition through the exact functional back-end.
+
+    Counter accounting mirrors what :class:`~repro.ap.runtime.APRuntime`
+    would record for the same configure + stream + report flow.
+    """
+    counters = RuntimeCounters()
+    q_idx, codes, cycles = board.query_reports(queries)
+    codes = codes + start  # re-base partition-local report codes
+    counters.configurations += 1
+    counters.symbols_streamed += queries.shape[0] * layout.block_length
+    counters.reports_received += codes.shape[0]
+    counters.report_payload_bits += codes.shape[0] * REPORT_RECORD_BITS
+    return q_idx, codes, cycles, counters
 
 
 @dataclass
 class KnnResult:
-    """kNN answers plus the accounting a hardware run would produce."""
+    """kNN answers plus the accounting a hardware run would produce.
+
+    ``k`` is the *effective* neighbor count: the requested ``k``
+    clipped to the dataset size.  Rows are padded with
+    (:data:`PAD_INDEX`, :data:`PAD_DISTANCE`) in the (normally
+    impossible) case that a back-end returns fewer than ``k``
+    candidates for some query.
+    """
 
     indices: np.ndarray  # (q, k) dataset indices, ascending (distance, index)
     distances: np.ndarray  # (q, k) Hamming distances
     counters: RuntimeCounters
     n_partitions: int
     execution: str
+    k: int = field(default=-1)
+    n_workers: int = 1  # worker lanes that actually ran (1 = sequential)
 
-    @property
-    def k(self) -> int:
-        return self.indices.shape[1]
+    def __post_init__(self) -> None:
+        if self.k < 0:
+            self.k = int(self.indices.shape[1])
 
 
 class APSimilaritySearch:
@@ -67,7 +183,8 @@ class APSimilaritySearch:
         ``(n, d)`` binary dataset (quantized offline, e.g. with
         :class:`repro.index.itq.ITQQuantizer`).
     k:
-        Number of neighbors per query.
+        Number of neighbors per query.  Clipped to the dataset size;
+        the clipped value is reported as :attr:`KnnResult.k`.
     device:
         AP generation (timing/capacity constants).
     board_capacity:
@@ -78,6 +195,23 @@ class APSimilaritySearch:
     execution:
         ``"simulate"`` (cycle-accurate), ``"functional"`` (exact fast
         model), or ``"auto"``.
+    parallel:
+        ``None``/``1`` for sequential execution, an ``int`` worker
+        count, or a :class:`~repro.host.parallel.ParallelConfig`.
+        With more than one worker, multi-partition searches fan out
+        across a process pool (serial fallback if the pool cannot be
+        created); results are bit-identical to sequential execution.
+    cache:
+        ``None`` to disable, ``True`` for a private LRU
+        :class:`~repro.ap.compiler.BoardImageCache` of default size,
+        an ``int`` for a private cache of that capacity, or an
+        existing cache instance to *share* compiled partitions across
+        engines.  Keys are content-addressed (compiled artifacts carry
+        partition-local report codes, re-based at decode), so engines
+        whose shards overlap on identical partition content hit each
+        other's entries.  The cache lives in this process: it
+        accelerates sequential execution only — with ``parallel``
+        workers each worker process rebuilds its own artifacts.
     """
 
     def __init__(
@@ -88,6 +222,8 @@ class APSimilaritySearch:
         board_capacity: int | None = None,
         macro_config: MacroConfig = MacroConfig(),
         execution: str = "auto",
+        parallel: ParallelConfig | int | None = None,
+        cache: BoardImageCache | int | bool | None = None,
     ):
         dataset_bits = np.asarray(dataset_bits, dtype=np.uint8)
         if dataset_bits.ndim != 2 or dataset_bits.shape[0] == 0:
@@ -101,10 +237,13 @@ class APSimilaritySearch:
 
         self.dataset = dataset_bits
         self.n, self.d = dataset_bits.shape
+        self.requested_k = int(k)
         self.k = int(min(k, self.n))
         self.device = device
         self.macro_config = macro_config
         self.execution = execution
+        self.parallel = self._normalize_parallel(parallel)
+        self.cache = self._normalize_cache(cache)
         self.layout = StreamLayout(
             self.d, collector_tree_depth(self.d, macro_config.max_fan_in)
         )
@@ -117,6 +256,42 @@ class APSimilaritySearch:
             (start, min(start + self.board_capacity, self.n))
             for start in range(0, self.n, self.board_capacity)
         ]
+        # Memoized per-partition content digests: the dataset is fixed
+        # at construction, so cache-key hashing happens at most once
+        # per partition, not once per search.
+        self._digests: dict[tuple[int, int], str] = {}
+
+    @staticmethod
+    def _normalize_parallel(
+        parallel: ParallelConfig | int | None,
+    ) -> ParallelConfig:
+        if parallel is None:
+            return ParallelConfig(n_workers=1)
+        if isinstance(parallel, ParallelConfig):
+            return parallel
+        if isinstance(parallel, (int, np.integer)):
+            return ParallelConfig(n_workers=int(parallel))
+        raise ValueError(
+            f"parallel must be None, an int, or ParallelConfig, got {parallel!r}"
+        )
+
+    @staticmethod
+    def _normalize_cache(
+        cache: BoardImageCache | int | bool | None,
+    ) -> BoardImageCache | None:
+        if cache is None or cache is False:
+            return None
+        if cache is True:
+            return BoardImageCache()
+        if isinstance(cache, BoardImageCache):
+            return cache
+        if isinstance(cache, (int, np.integer)):
+            # 0 (and below) disables caching, matching the CLI's
+            # --cache-size 0 convention.
+            return BoardImageCache(max_entries=int(cache)) if cache > 0 else None
+        raise ValueError(
+            f"cache must be None, bool, an int, or BoardImageCache, got {cache!r}"
+        )
 
     def _default_capacity(self) -> int:
         """Compiler-derived vectors-per-board for this dimensionality."""
@@ -130,8 +305,15 @@ class APSimilaritySearch:
     def _choose_execution(self, n_queries: int = 1) -> str:
         if self.execution != "auto":
             return self.execution
-        states = min(self.board_capacity, self.n) * (2 * self.d + 8)
-        cost = states * self.layout.block_length * max(1, n_queries)
+        # Sum the true per-partition costs: the final partition is
+        # usually smaller than board_capacity, and charging every pass
+        # at full capacity would flip workloads near the limit to
+        # "functional" prematurely.
+        states_per_vector = 2 * self.d + 8
+        cost = sum(
+            (end - start) * states_per_vector * self.layout.block_length
+            for start, end in self.partitions
+        ) * max(1, n_queries)
         return "simulate" if cost <= _AUTO_SIM_LIMIT else "functional"
 
     def search(self, queries_bits: np.ndarray) -> KnnResult:
@@ -154,60 +336,111 @@ class APSimilaritySearch:
         partials: list[list[tuple[np.ndarray, np.ndarray]]] = [[] for _ in range(n_q)]
         counters = RuntimeCounters()
 
-        for p_idx, (start, end) in enumerate(self.partitions):
-            if mode == "simulate":
-                q_idx, codes, cycles = self._run_simulated(
-                    queries_bits, start, end, counters
+        n_workers_used = 1
+        if self.parallel.effective_workers > 1 and len(self.partitions) > 1:
+            run = run_partitions(
+                self._partition_tasks(mode), queries_bits, self.parallel
+            )
+            n_workers_used = run.n_workers
+            for res in run.results:  # sorted by partition index
+                counters.merge(res.counters)
+                self._decode_partition(
+                    res.q_idx, res.codes, res.cycles, partials, n_q
                 )
-            else:
-                q_idx, codes, cycles = self._run_functional(
-                    queries_bits, start, end, counters
-                )
-            self._decode_partition(q_idx, codes, cycles, partials, n_q)
+        else:
+            for start, end in self.partitions:
+                if mode == "simulate":
+                    q_idx, codes, cycles = self._run_simulated(
+                        queries_bits, start, end, counters
+                    )
+                else:
+                    q_idx, codes, cycles = self._run_functional(
+                        queries_bits, start, end, counters
+                    )
+                self._decode_partition(q_idx, codes, cycles, partials, n_q)
 
-        indices = np.empty((n_q, self.k), dtype=np.int64)
-        distances = np.empty((n_q, self.k), dtype=np.int64)
+        # merge_topk may legally return fewer than k rows (e.g. a
+        # back-end produced fewer reports than dataset vectors); pad
+        # short rows instead of crashing on the broadcast.
+        indices = np.full((n_q, self.k), PAD_INDEX, dtype=np.int64)
+        distances = np.full((n_q, self.k), PAD_DISTANCE, dtype=np.int64)
         for qi in range(n_q):
             idx, dist = merge_topk(partials[qi], self.k)
-            indices[qi] = idx
-            distances[qi] = dist.astype(np.int64)
+            found = min(idx.shape[0], self.k)
+            indices[qi, :found] = idx[:found]
+            distances[qi, :found] = dist[:found].astype(np.int64)
         return KnnResult(
             indices=indices,
             distances=distances,
             counters=counters,
             n_partitions=len(self.partitions),
             execution=mode,
+            k=self.k,
+            n_workers=n_workers_used,
         )
 
     # -- back-ends --------------------------------------------------------
 
-    def _run_simulated(self, queries, start, end, counters):
-        runtime = APRuntime(self.device)
-        network, _ = build_knn_network(
-            self.dataset[start:end],
-            config=self.macro_config,
-            name=f"partition{start}",
-            report_code_base=start,
+    def _partition_tasks(self, mode: str) -> list[PartitionTask]:
+        """Self-contained, picklable work units for the parallel layer."""
+        return [
+            PartitionTask(
+                p_idx=p_idx,
+                start=start,
+                end=end,
+                dataset_bits=self.dataset[start:end],
+                mode=mode,
+                d=self.d,
+                collector_depth=self.layout.collector_depth,
+                max_fan_in=self.macro_config.max_fan_in,
+                counter_max_increment=self.macro_config.counter_max_increment,
+                device=self.device,
+            )
+            for p_idx, (start, end) in enumerate(self.partitions)
+        ]
+
+    def _cache_key(self, start: int, end: int, flavor: str) -> tuple:
+        """Content-addressed key: no positional component, so identical
+        partition content shares entries across engines and offsets."""
+        span = (start, end)
+        digest = self._digests.get(span)
+        if digest is None:
+            digest = dataset_digest(self.dataset[start:end])
+            self._digests[span] = digest
+        return partition_cache_key(
+            None, self.macro_config, self.device, extra=(flavor,), digest=digest
         )
-        image = runtime.build_image(network, partition=(start, end))
-        runtime.configure(image)
-        stream = encode_query_batch(queries, self.layout)
-        reports = runtime.stream(stream)
-        counters.merge(runtime.counters)
-        q_idx = np.array([r.cycle // self.layout.block_length for r in reports])
-        codes = np.array([r.code for r in reports], dtype=np.int64)
-        cycles = np.array([r.cycle for r in reports], dtype=np.int64)
+
+    def _run_simulated(self, queries, start, end, counters):
+        key = (
+            self._cache_key(start, end, "image")
+            if self.cache is not None
+            else None
+        )
+        q_idx, codes, cycles, delta = run_partition_simulated(
+            self.dataset[start:end], queries, self.layout,
+            self.macro_config, self.device, start, end,
+            cache=self.cache, cache_key=key,
+        )
+        counters.merge(delta)
         return q_idx, codes, cycles
 
     def _run_functional(self, queries, start, end, counters):
-        board = FunctionalKnnBoard(
-            self.dataset[start:end], self.layout, report_code_base=start
+        board = None
+        key = None
+        if self.cache is not None:
+            key = self._cache_key(start, end, "functional")
+            board = self.cache.get(key)
+            if board is not None:
+                counters.image_cache_hits += 1
+        if board is None:
+            board = build_functional_board(self.dataset[start:end], self.layout)
+            if self.cache is not None:
+                self.cache.put(key, board)
+        q_idx, codes, cycles, delta = run_partition_functional(
+            board, queries, self.layout, start
         )
-        q_idx, codes, cycles = board.query_reports(queries)
-        counters.configurations += 1
-        counters.symbols_streamed += queries.shape[0] * self.layout.block_length
-        counters.reports_received += codes.shape[0]
-        counters.report_payload_bits += codes.shape[0] * 64
+        counters.merge(delta)
         return q_idx, codes, cycles
 
     # -- decoding ----------------------------------------------------------

@@ -30,7 +30,7 @@ import numpy as np
 from ..ap.device import APDeviceSpec, GEN1
 from ..ap.runtime import RuntimeCounters
 from ..util.topk import merge_topk
-from .engine import APSimilaritySearch, KnnResult
+from .engine import PAD_DISTANCE, PAD_INDEX, APSimilaritySearch, KnnResult
 from .macros import MacroConfig
 
 __all__ = ["MultiBoardResult", "MultiBoardSearch"]
@@ -101,16 +101,23 @@ class MultiBoardSearch:
         for r in results:
             counters.merge(r.counters)
 
-        indices = np.empty((n_q, self.k), dtype=np.int64)
-        distances = np.empty((n_q, self.k), dtype=np.int64)
+        # Shard engines pad short rows with (PAD_INDEX, PAD_DISTANCE);
+        # a pad must not enter the cross-shard merge, where the offset
+        # would turn it into a bogus valid global index with a distance
+        # that outranks every real candidate.
+        indices = np.full((n_q, self.k), PAD_INDEX, dtype=np.int64)
+        distances = np.full((n_q, self.k), PAD_DISTANCE, dtype=np.int64)
         for qi in range(n_q):
-            partials = [
-                (r.indices[qi] + off, r.distances[qi])
-                for r, off in zip(results, self._shard_offsets)
-            ]
+            partials = []
+            for r, off in zip(results, self._shard_offsets):
+                valid = r.indices[qi] != PAD_INDEX
+                partials.append(
+                    (r.indices[qi][valid] + off, r.distances[qi][valid])
+                )
             idx, dist = merge_topk(partials, self.k)
-            indices[qi] = idx
-            distances[qi] = dist.astype(np.int64)
+            found = min(idx.shape[0], self.k)
+            indices[qi, :found] = idx[:found]
+            distances[qi, :found] = dist[:found].astype(np.int64)
         return MultiBoardResult(
             indices=indices,
             distances=distances,

@@ -63,6 +63,11 @@ class StreamLayout:
         """Block-local 0-indexed cycle of the EOF symbol."""
         return self.block_length - 1
 
+    @property
+    def first_report_offset(self) -> int:
+        """Earliest block-local cycle a report can legally occupy (m = d)."""
+        return self.report_offset(self.d)
+
     def report_offset(self, inverted_hamming: int) -> int:
         """Block-local cycle at which a vector with this ``m`` reports."""
         if not 0 <= inverted_hamming <= self.d:
@@ -117,8 +122,34 @@ def encode_query_batch(queries: np.ndarray, layout: StreamLayout) -> np.ndarray:
 def decode_report_offset(
     cycle: int, layout: StreamLayout
 ) -> tuple[int, int, int]:
-    """Map a global report cycle to ``(query_index, inverted_hamming, distance)``."""
-    block = int(cycle) // layout.block_length
-    local = int(cycle) % layout.block_length
+    """Map a global report cycle to ``(query_index, inverted_hamming, distance)``.
+
+    The report window of a block spans local offsets
+    ``[layout.first_report_offset, layout.eof_offset]`` (inverted
+    Hamming distances ``d`` down to ``0``); cycles outside it are not
+    reports the temporal-sort design can produce.  A negative cycle
+    would otherwise floor-divide to a negative query index and corrupt
+    the merge silently; a cycle in the SOF/Hamming/early-padding region
+    would be rejected by :meth:`StreamLayout.inverted_hamming`, but
+    only with a bare offset — the explicit check here names the block,
+    the offending local offset, and the valid window so a corrupted
+    report stream (or a mismatched layout) is diagnosable.
+    """
+    cycle = int(cycle)
+    if cycle < 0:
+        raise ValueError(f"report cycle must be non-negative, got {cycle}")
+    block = cycle // layout.block_length
+    local = cycle % layout.block_length
+    lo = layout.first_report_offset
+    # local <= eof_offset always holds (it is block_length - 1 and
+    # local is a modulo), so only the lower bound can be violated.
+    if local < lo:
+        raise ValueError(
+            f"report cycle {cycle} lands at block-local offset {local} of "
+            f"query block {block}, outside the valid report window "
+            f"[{lo}, {layout.eof_offset}] (SOF/Hamming/padding region); the "
+            "report stream is corrupted or decoded with a mismatched "
+            "StreamLayout"
+        )
     m = layout.inverted_hamming(local)
     return block, m, layout.d - m

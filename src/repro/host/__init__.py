@@ -1,7 +1,15 @@
 """Host-side driver stack (paper Fig. 1a): simulated-time device/host
-timelines, submission policies, and the Section III-C partition scheduler."""
+timelines, submission policies, the Section III-C partition scheduler,
+and the sharded parallel partition-execution layer."""
 
 from .driver import APDriver, OpKind, SubmissionMode, Timeline, TimelineEntry
+from .parallel import (
+    ParallelConfig,
+    PartitionResult,
+    PartitionRunReport,
+    PartitionTask,
+    run_partitions,
+)
 from .scheduler import POLICIES, ScheduleResult, schedule_knn_run
 
 __all__ = [
@@ -13,4 +21,9 @@ __all__ = [
     "POLICIES",
     "ScheduleResult",
     "schedule_knn_run",
+    "ParallelConfig",
+    "PartitionResult",
+    "PartitionRunReport",
+    "PartitionTask",
+    "run_partitions",
 ]

@@ -91,6 +91,24 @@ class Timeline:
                     total += hi - lo
         return total
 
+    @staticmethod
+    def merged(timelines: list["Timeline"]) -> "Timeline":
+        """Combine per-worker timelines into one (multi-lane) view.
+
+        Entries keep their absolute times and are ordered by start, so
+        ``makespan_s`` is the max over lanes while ``device_busy_s``
+        sums across lanes — with ``w`` concurrent lanes the resulting
+        ``device_utilization`` is an *aggregate* that can approach
+        ``w``.
+        """
+        out = Timeline()
+        for t in timelines:
+            out.device.extend(t.device)
+            out.host.extend(t.host)
+        out.device.sort(key=lambda e: (e.start_s, e.end_s))
+        out.host.sort(key=lambda e: (e.start_s, e.end_s))
+        return out
+
 
 class APDriver:
     """Simulated-time driver: submit configure/stream ops, decode on host."""

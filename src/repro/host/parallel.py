@@ -1,0 +1,208 @@
+"""Sharded parallel partition execution for the kNN engine.
+
+The paper hides host-side latency by pipelining (Section III-C); a
+production host has a second lever the single-board timeline model
+cannot express: board partitions are *independent* until the final
+top-k merge, so a multi-core host can execute them concurrently —
+each worker simulates (or functionally models) its own partitions and
+streams ``(q_idx, codes, cycles)`` report batches back to the parent,
+which decodes them through the exact same merge path as the sequential
+engine.  Results are therefore bit-identical to sequential execution:
+workers return per-partition report arrays plus per-partition
+:class:`~repro.ap.runtime.RuntimeCounters` deltas, and the parent
+consumes both in partition order, so counter aggregation is exact and
+the (distance, index) tie-break is untouched.
+
+:func:`run_partitions` is the entry point.  It uses a
+:class:`~concurrent.futures.ProcessPoolExecutor` (configurable
+``n_workers``) and falls back to in-process serial execution when the
+pool cannot be created (sandboxes without ``fork``/semaphores) or when
+``n_workers <= 1``.  Workers rebuild their partition artifacts from the
+shipped dataset slice — the parent-side board-image cache
+(:class:`~repro.ap.compiler.BoardImageCache`) is per-process and only
+accelerates the serial path.  The pool is created per call and torn
+down afterwards: leak-proof for one-shot batches, but a long-lived
+service issuing many small searches pays worker spawn cost each time
+(a persistent pool is a ROADMAP item).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ap.device import APDeviceSpec, GEN1
+from ..ap.runtime import RuntimeCounters
+
+__all__ = [
+    "ParallelConfig",
+    "PartitionTask",
+    "PartitionResult",
+    "PartitionRunReport",
+    "run_partitions",
+]
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How the engine fans partitions out across workers.
+
+    ``n_workers <= 1`` means serial in-process execution;
+    ``backend="serial"`` forces it regardless of ``n_workers`` (useful
+    for debugging).  ``fallback_serial`` controls what happens when the
+    process pool cannot be created: degrade gracefully (default) or
+    raise.
+    """
+
+    n_workers: int = 1
+    backend: str = "process"
+    fallback_serial: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 0:
+            raise ValueError("n_workers must be >= 0")
+        if self.backend not in ("process", "serial"):
+            raise ValueError(f"unknown parallel backend {self.backend!r}")
+
+    @property
+    def effective_workers(self) -> int:
+        return self.n_workers if self.backend == "process" else 1
+
+
+@dataclass(frozen=True)
+class PartitionTask:
+    """One board partition's worth of work, self-contained and picklable."""
+
+    p_idx: int
+    start: int
+    end: int
+    dataset_bits: np.ndarray  # the (end-start, d) partition slice
+    mode: str  # "simulate" | "functional"
+    d: int
+    collector_depth: int
+    max_fan_in: int
+    counter_max_increment: int
+    device: APDeviceSpec = GEN1
+
+
+@dataclass
+class PartitionResult:
+    """Report batch + counter delta for one executed partition."""
+
+    p_idx: int
+    q_idx: np.ndarray
+    codes: np.ndarray
+    cycles: np.ndarray
+    counters: RuntimeCounters
+
+
+def execute_partition(
+    task: PartitionTask, queries_bits: np.ndarray
+) -> PartitionResult:
+    """Run one partition end to end (worker-side entry point).
+
+    Delegates to the engine's shared per-partition back-ends — the same
+    functions the sequential path calls — so parallel results are
+    bit-identical by construction.  Imports are deferred so this module
+    can be imported by :mod:`repro.core.engine` without a circular
+    dependency, and so forked workers resolve them lazily.
+    """
+    from ..core.engine import (
+        build_functional_board,
+        run_partition_functional,
+        run_partition_simulated,
+    )
+    from ..core.macros import MacroConfig
+    from ..core.stream import StreamLayout
+
+    layout = StreamLayout(task.d, task.collector_depth)
+    if task.mode == "simulate":
+        q_idx, codes, cycles, counters = run_partition_simulated(
+            task.dataset_bits,
+            queries_bits,
+            layout,
+            MacroConfig(
+                max_fan_in=task.max_fan_in,
+                counter_max_increment=task.counter_max_increment,
+            ),
+            task.device,
+            task.start,
+            task.end,
+        )
+    elif task.mode == "functional":
+        board = build_functional_board(task.dataset_bits, layout)
+        q_idx, codes, cycles, counters = run_partition_functional(
+            board, queries_bits, layout, task.start
+        )
+    else:
+        raise ValueError(f"unknown execution mode {task.mode!r}")
+    return PartitionResult(
+        p_idx=task.p_idx, q_idx=q_idx, codes=codes, cycles=cycles, counters=counters
+    )
+
+
+@dataclass
+class PartitionRunReport:
+    """All partitions' results plus how the run actually executed.
+
+    ``n_workers`` is the worker-process count that really ran — 1 when
+    the serial path was taken, including silent pool-failure fallback —
+    so callers can report true concurrency instead of the requested
+    figure.
+    """
+
+    results: list[PartitionResult]
+    n_workers: int
+
+
+def _run_serial(
+    tasks: list[PartitionTask], queries_bits: np.ndarray
+) -> PartitionRunReport:
+    return PartitionRunReport(
+        results=[execute_partition(t, queries_bits) for t in tasks],
+        n_workers=1,
+    )
+
+
+def run_partitions(
+    tasks: list[PartitionTask],
+    queries_bits: np.ndarray,
+    config: ParallelConfig = ParallelConfig(),
+) -> PartitionRunReport:
+    """Execute partition tasks, possibly across worker processes.
+
+    The report's results are **sorted by partition index** regardless
+    of worker completion order, so downstream decode/merge and counter
+    aggregation are deterministic and bit-identical to the sequential
+    path.
+    """
+    queries_bits = np.ascontiguousarray(queries_bits, dtype=np.uint8)
+    n_workers = min(config.effective_workers, len(tasks))
+    if n_workers <= 1:
+        return _run_serial(tasks, queries_bits)
+    try:
+        executor = ProcessPoolExecutor(max_workers=n_workers)
+    except (OSError, PermissionError, ImportError):
+        if config.fallback_serial:
+            return _run_serial(tasks, queries_bits)
+        raise
+    try:
+        futures = [
+            executor.submit(execute_partition, t, queries_bits) for t in tasks
+        ]
+        results = [f.result() for f in futures]
+    except (OSError, PermissionError, BrokenProcessPool) as exc:
+        # Pool creation can succeed but worker spawn still fail (e.g.
+        # blocked semaphores); degrade the same way.
+        if config.fallback_serial:
+            return _run_serial(tasks, queries_bits)
+        raise RuntimeError("parallel partition execution failed") from exc
+    finally:
+        executor.shutdown(wait=True)
+    return PartitionRunReport(
+        results=sorted(results, key=lambda r: r.p_idx),
+        n_workers=n_workers,
+    )

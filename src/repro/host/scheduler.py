@@ -37,6 +37,7 @@ class ScheduleResult:
     timeline: Timeline
     n_partitions: int
     n_queries: int
+    n_workers: int = 1
 
     @property
     def makespan_s(self) -> float:
@@ -57,15 +58,31 @@ def schedule_knn_run(
     policy: str = "async",
     charge_first_configure: bool = True,
     host_ns_per_report: float = 2.0,
+    n_workers: int = 1,
 ) -> ScheduleResult:
-    """Build the full run's timeline under ``policy``."""
+    """Build the full run's timeline under ``policy``.
+
+    ``n_workers > 1`` models the sharded parallel execution layer
+    (:mod:`repro.host.parallel`): partitions are dealt round-robin to
+    ``n_workers`` independent worker lanes, each with its own device
+    queue and host decode thread, and the makespan is the slowest
+    lane's.  Only the non-blocking policies (``"async"`` and
+    ``"query-overlap"``) can exploit workers — under ``"blocking"``
+    every API call serializes the host, so extra workers are ignored.
+    """
     if policy not in POLICIES:
         raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
     if n_partitions < 1 or n_queries < 1:
         raise ValueError("need at least one partition and one query")
+    if n_workers < 1:
+        raise ValueError("need at least one worker")
 
     mode = SubmissionMode.BLOCKING if policy == "blocking" else SubmissionMode.ASYNC
-    driver = APDriver(device, mode=mode, host_ns_per_report=host_ns_per_report)
+    lanes = 1 if policy == "blocking" else min(n_workers, n_partitions)
+    drivers = [
+        APDriver(device, mode=mode, host_ns_per_report=host_ns_per_report)
+        for _ in range(lanes)
+    ]
 
     if policy == "query-overlap":
         # steady state: one query costs d symbols; the first query of a
@@ -75,14 +92,23 @@ def schedule_knn_run(
         symbols_per_partition = n_queries * block_length
 
     for p in range(n_partitions):
-        if p > 0 or charge_first_configure:
+        driver = drivers[p % lanes]
+        if p >= lanes or charge_first_configure:
+            # each lane's first partition is the "preloaded image" the
+            # charge_first_configure flag refers to
             driver.configure(label=f"cfg p{p}")
         stream_op = driver.stream(symbols_per_partition, label=f"stream p{p}")
         driver.decode(reports_per_partition, stream_op, label=f"decode p{p}")
-    driver.synchronize()
+    for driver in drivers:
+        driver.synchronize()
+    timeline = (
+        drivers[0].timeline if lanes == 1
+        else Timeline.merged([drv.timeline for drv in drivers])
+    )
     return ScheduleResult(
         policy=policy,
-        timeline=driver.timeline,
+        timeline=timeline,
         n_partitions=n_partitions,
         n_queries=n_queries,
+        n_workers=lanes,
     )

@@ -5,8 +5,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import repro.core.engine as engine_mod
 from repro.ap.device import GEN1, GEN2
-from repro.core.engine import APSimilaritySearch
+from repro.core.engine import PAD_DISTANCE, PAD_INDEX, APSimilaritySearch
 from tests.conftest import brute_force_knn
 
 
@@ -75,6 +76,128 @@ class TestEngineCorrectness:
         exp_i, exp_d = brute_force_knn(data, queries, min(k, n))
         assert (res.indices == exp_i).all()
         assert (res.distances == exp_d).all()
+
+
+class TestShortTopkRegression:
+    """merge_topk may return fewer than k rows; search must not crash."""
+
+    @pytest.mark.parametrize("execution", ["simulate", "functional"])
+    def test_k_equals_n(self, execution):
+        rng = np.random.default_rng(11)
+        data = rng.integers(0, 2, (5, 8), dtype=np.uint8)
+        queries = rng.integers(0, 2, (2, 8), dtype=np.uint8)
+        res = APSimilaritySearch(
+            data, k=5, board_capacity=2, execution=execution
+        ).search(queries)
+        assert res.k == 5
+        assert res.indices.shape == (2, 5)
+        exp_i, exp_d = brute_force_knn(data, queries, 5)
+        assert (res.indices == exp_i).all()
+        assert (res.distances == exp_d).all()
+
+    @pytest.mark.parametrize("execution", ["simulate", "functional"])
+    def test_k_greater_than_n(self, execution):
+        rng = np.random.default_rng(12)
+        data = rng.integers(0, 2, (3, 8), dtype=np.uint8)
+        queries = rng.integers(0, 2, (2, 8), dtype=np.uint8)
+        res = APSimilaritySearch(
+            data, k=10, board_capacity=2, execution=execution
+        ).search(queries)
+        assert res.k == 3  # clipped to the dataset size
+        assert res.indices.shape == (2, 3)
+        exp_i, exp_d = brute_force_knn(data, queries, 3)
+        assert (res.indices == exp_i).all()
+        assert (res.distances == exp_d).all()
+
+    @pytest.mark.parametrize("execution", ["simulate", "functional"])
+    def test_single_vector_dataset(self, execution):
+        data = np.ones((1, 6), dtype=np.uint8)
+        queries = np.zeros((2, 6), dtype=np.uint8)
+        res = APSimilaritySearch(data, k=4, execution=execution).search(queries)
+        assert res.k == 1
+        assert res.indices.tolist() == [[0], [0]]
+        assert res.distances.tolist() == [[6], [6]]
+
+    def test_tiny_final_partition(self):
+        """Final partition smaller than k still merges correctly."""
+        rng = np.random.default_rng(13)
+        data = rng.integers(0, 2, (7, 8), dtype=np.uint8)
+        queries = rng.integers(0, 2, (1, 8), dtype=np.uint8)
+        res = APSimilaritySearch(
+            data, k=4, board_capacity=6, execution="functional"
+        ).search(queries)
+        exp_i, exp_d = brute_force_knn(data, queries, 4)
+        assert (res.indices == exp_i).all()
+        assert (res.distances == exp_d).all()
+
+    def test_short_merge_pads_instead_of_crashing(self):
+        """A back-end returning fewer reports than vectors must pad, not
+        raise the historical broadcast error."""
+
+        class LossyEngine(APSimilaritySearch):
+            def _run_functional(self, queries, start, end, counters):
+                q_idx, codes, cycles = super()._run_functional(
+                    queries, start, end, counters
+                )
+                return q_idx[:1], codes[:1], cycles[:1]  # drop most reports
+
+        rng = np.random.default_rng(14)
+        data = rng.integers(0, 2, (6, 8), dtype=np.uint8)
+        queries = rng.integers(0, 2, (2, 8), dtype=np.uint8)
+        res = LossyEngine(
+            data, k=4, board_capacity=6, execution="functional"
+        ).search(queries)
+        assert res.indices.shape == (2, 4)
+        # query 0 kept one real candidate, the rest are pad slots
+        assert (res.indices[:, 1:] == PAD_INDEX).all()
+        assert (res.distances[:, 1:] == PAD_DISTANCE).all()
+        assert res.indices[0, 0] != PAD_INDEX
+
+    def test_requested_k_recorded(self):
+        data = np.zeros((3, 4), dtype=np.uint8)
+        eng = APSimilaritySearch(data, k=9, execution="functional")
+        assert eng.requested_k == 9
+        assert eng.k == 3
+
+
+class TestAutoExecutionChoice:
+    """_choose_execution sums true per-partition costs (not capacity)."""
+
+    def _cost(self, eng, n_queries):
+        states_per_vector = 2 * eng.d + 8
+        return (
+            eng.n * states_per_vector * eng.layout.block_length * n_queries
+        )
+
+    def test_boundary_at_exact_limit(self, monkeypatch):
+        rng = np.random.default_rng(15)
+        data = rng.integers(0, 2, (30, 8), dtype=np.uint8)
+        eng = APSimilaritySearch(data, k=1, board_capacity=8, execution="auto")
+        cost = self._cost(eng, 4)
+        monkeypatch.setattr(engine_mod, "_AUTO_SIM_LIMIT", cost)
+        assert eng._choose_execution(4) == "simulate"  # cost == limit
+        monkeypatch.setattr(engine_mod, "_AUTO_SIM_LIMIT", cost - 1)
+        assert eng._choose_execution(4) == "functional"  # just above
+
+    def test_small_final_partition_not_overcharged(self, monkeypatch):
+        """n=cap+1 must cost barely more than n=cap, not double: the
+        old estimate charged the 1-vector tail partition at full
+        board capacity."""
+        rng = np.random.default_rng(16)
+        cap = 16
+        data = rng.integers(0, 2, (cap + 1, 8), dtype=np.uint8)
+        eng = APSimilaritySearch(
+            data, k=1, board_capacity=cap, execution="auto"
+        )
+        assert len(eng.partitions) == 2
+        cost = self._cost(eng, 1)  # 17 vectors' worth, not 32
+        monkeypatch.setattr(engine_mod, "_AUTO_SIM_LIMIT", cost)
+        assert eng._choose_execution(1) == "simulate"
+
+    def test_explicit_mode_wins(self):
+        data = np.zeros((4, 4), dtype=np.uint8)
+        eng = APSimilaritySearch(data, k=1, execution="functional")
+        assert eng._choose_execution(10**9) == "functional"
 
 
 class TestEngineAccounting:

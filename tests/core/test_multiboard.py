@@ -47,6 +47,58 @@ class TestCorrectness:
             MultiBoardSearch(data, k=1, n_devices=11)
 
 
+class TestPadSafety:
+    def test_short_shard_rows_do_not_corrupt_merge(self, rng):
+        """A shard engine returning padded (short) rows must not inject
+        bogus candidates into the cross-shard merge: historically a pad
+        index -1 became the valid global index `offset - 1` with a
+        distance that outranked every real neighbor."""
+        from repro.core.engine import PAD_DISTANCE, APSimilaritySearch
+
+        class LossyEngine(APSimilaritySearch):
+            def _run_functional(self, queries, start, end, counters):
+                q_idx, codes, cycles = super()._run_functional(
+                    queries, start, end, counters
+                )
+                return q_idx[:0], codes[:0], cycles[:0]  # shard reports lost
+
+        data = rng.integers(0, 2, (20, 8), dtype=np.uint8)
+        queries = rng.integers(0, 2, (3, 8), dtype=np.uint8)
+        mb = MultiBoardSearch(data, k=3, n_devices=2, execution="functional")
+        # make shard 0 (data[0:10]) lossy: its rows come back all-pad
+        mb._engines[0] = LossyEngine(
+            data[:10], k=mb.k, execution="functional"
+        )
+        res = mb.search(queries)
+        # result equals brute force over the surviving shard only —
+        # no offset-shifted pads, no negative distances
+        exp_i, exp_d = brute_force_knn(data[10:], queries, 3)
+        assert (res.indices == exp_i + 10).all()
+        assert (res.distances == exp_d).all()
+        assert (res.distances != PAD_DISTANCE).all()
+
+    def test_all_shards_short_pads_result(self, rng):
+        from repro.core.engine import PAD_DISTANCE, PAD_INDEX, APSimilaritySearch
+
+        class DeadEngine(APSimilaritySearch):
+            def _run_functional(self, queries, start, end, counters):
+                q_idx, codes, cycles = super()._run_functional(
+                    queries, start, end, counters
+                )
+                return q_idx[:0], codes[:0], cycles[:0]
+
+        data = rng.integers(0, 2, (8, 8), dtype=np.uint8)
+        queries = rng.integers(0, 2, (2, 8), dtype=np.uint8)
+        mb = MultiBoardSearch(data, k=2, n_devices=2, execution="functional")
+        mb._engines = [
+            DeadEngine(data[:4], k=2, execution="functional"),
+            DeadEngine(data[4:], k=2, execution="functional"),
+        ]
+        res = mb.search(queries)
+        assert (res.indices == PAD_INDEX).all()
+        assert (res.distances == PAD_DISTANCE).all()
+
+
 class TestScalingModel:
     def test_runtime_shrinks_with_devices(self, rng):
         data = rng.integers(0, 2, (4096, 16), dtype=np.uint8)

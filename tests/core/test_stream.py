@@ -97,3 +97,39 @@ class TestDecode:
         m = int(rng.integers(0, d + 1))
         cyc = q * lay.block_length + lay.report_offset(m)
         assert decode_report_offset(cyc, lay) == (q, m, d - m)
+
+
+class TestDecodeValidation:
+    """Cycles outside the report window must raise, not corrupt the merge."""
+
+    def test_first_report_offset(self):
+        lay = StreamLayout(5, 1)
+        assert lay.first_report_offset == lay.report_offset(lay.d)
+        assert lay.first_report_offset < lay.eof_offset
+
+    def test_rejects_negative_cycle(self):
+        lay = StreamLayout(5, 1)
+        with pytest.raises(ValueError, match="non-negative"):
+            decode_report_offset(-1, lay)
+
+    @pytest.mark.parametrize("d,depth", [(4, 1), (9, 2), (16, 1)])
+    def test_rejects_pre_window_offsets(self, d, depth):
+        """SOF, Hamming-phase, and early-padding cycles are not reports."""
+        lay = StreamLayout(d, depth)
+        for block in (0, 3):
+            for local in range(lay.first_report_offset):
+                with pytest.raises(ValueError, match="report window"):
+                    decode_report_offset(block * lay.block_length + local, lay)
+
+    def test_error_names_block_and_offset(self):
+        lay = StreamLayout(4, 1)
+        bad = 2 * lay.block_length + 1  # Hamming phase of block 2
+        with pytest.raises(ValueError, match=r"block-local offset 1.*block 2"):
+            decode_report_offset(bad, lay)
+
+    def test_window_boundaries_decode(self):
+        lay = StreamLayout(6, 1)
+        # earliest legal slot: m = d (distance 0)
+        assert decode_report_offset(lay.first_report_offset, lay) == (0, 6, 0)
+        # latest legal slot: the EOF cycle carries the m = 0 report
+        assert decode_report_offset(lay.eof_offset, lay) == (0, 0, 6)

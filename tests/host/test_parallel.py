@@ -1,0 +1,197 @@
+"""Tests for sharded parallel partition execution (repro.host.parallel)."""
+
+import numpy as np
+import pytest
+
+from repro.ap.runtime import RuntimeCounters
+from repro.core.engine import APSimilaritySearch
+from repro.host.parallel import (
+    ParallelConfig,
+    PartitionTask,
+    execute_partition,
+    run_partitions,
+)
+from tests.conftest import brute_force_knn
+
+
+def _workload(n=40, d=16, n_queries=5, seed=7):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.integers(0, 2, (n, d), dtype=np.uint8),
+        rng.integers(0, 2, (n_queries, d), dtype=np.uint8),
+    )
+
+
+class TestParallelConfig:
+    def test_defaults_serial(self):
+        assert ParallelConfig().effective_workers == 1
+
+    def test_serial_backend_forces_one_worker(self):
+        assert ParallelConfig(n_workers=8, backend="serial").effective_workers == 1
+
+    def test_rejects_negative_workers(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(n_workers=-1)
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            ParallelConfig(backend="thread")
+
+
+class TestShardedParity:
+    """Acceptance: sharded search is bit-identical to the sequential path."""
+
+    @pytest.mark.parametrize("n_workers", [2, 3])
+    def test_functional_bit_identical(self, n_workers):
+        data, queries = _workload()
+        seq = APSimilaritySearch(
+            data, k=4, board_capacity=12, execution="functional"
+        ).search(queries)
+        assert seq.n_partitions >= 3
+        par = APSimilaritySearch(
+            data, k=4, board_capacity=12, execution="functional",
+            parallel=n_workers,
+        ).search(queries)
+        assert (par.indices == seq.indices).all()
+        assert (par.distances == seq.distances).all()
+
+    def test_simulate_bit_identical(self):
+        data, queries = _workload(n=21, d=8, n_queries=3)
+        seq = APSimilaritySearch(
+            data, k=3, board_capacity=7, execution="simulate"
+        ).search(queries)
+        par = APSimilaritySearch(
+            data, k=3, board_capacity=7, execution="simulate", parallel=2
+        ).search(queries)
+        assert (par.indices == seq.indices).all()
+        assert (par.distances == seq.distances).all()
+
+    @pytest.mark.parametrize("backend", ["process", "serial"])
+    def test_matches_brute_force(self, backend):
+        data, queries = _workload(n=50, d=12, n_queries=4, seed=3)
+        res = APSimilaritySearch(
+            data, k=5, board_capacity=9, execution="functional",
+            parallel=ParallelConfig(n_workers=3, backend=backend),
+        ).search(queries)
+        exp_i, exp_d = brute_force_knn(data, queries, 5)
+        assert (res.indices == exp_i).all()
+        assert (res.distances == exp_d).all()
+
+    def test_result_records_worker_lanes(self):
+        data, queries = _workload()
+        par = APSimilaritySearch(
+            data, k=2, board_capacity=12, execution="functional", parallel=2
+        ).search(queries)
+        assert par.n_workers == 2
+        seq = APSimilaritySearch(
+            data, k=2, board_capacity=12, execution="functional"
+        ).search(queries)
+        assert seq.n_workers == 1
+        # single-partition dataset: the parallel path is never taken
+        one = APSimilaritySearch(
+            data, k=2, board_capacity=100, execution="functional", parallel=4
+        ).search(queries)
+        assert one.n_partitions == 1
+        assert one.n_workers == 1
+
+    def test_counter_aggregation_exact(self):
+        data, queries = _workload()
+        seq = APSimilaritySearch(
+            data, k=2, board_capacity=12, execution="functional"
+        ).search(queries)
+        par = APSimilaritySearch(
+            data, k=2, board_capacity=12, execution="functional", parallel=2
+        ).search(queries)
+        assert par.counters == seq.counters
+
+    def test_int_parallel_shorthand(self):
+        data, queries = _workload(n=30)
+        eng = APSimilaritySearch(data, k=1, parallel=2, execution="functional")
+        assert eng.parallel == ParallelConfig(n_workers=2)
+        res = eng.search(queries)
+        exp_i, _ = brute_force_knn(data, queries, 1)
+        assert (res.indices == exp_i).all()
+
+    def test_rejects_bad_parallel(self):
+        data, _ = _workload()
+        with pytest.raises(ValueError, match="parallel"):
+            APSimilaritySearch(data, k=1, parallel="many")
+
+
+class TestRunPartitions:
+    def _tasks(self, data, cap, mode="functional"):
+        from repro.core.macros import collector_tree_depth
+
+        d = data.shape[1]
+        depth = collector_tree_depth(d, 16)
+        return [
+            PartitionTask(
+                p_idx=i, start=s, end=min(s + cap, data.shape[0]),
+                dataset_bits=data[s : min(s + cap, data.shape[0])],
+                mode=mode, d=d, collector_depth=depth,
+                max_fan_in=16, counter_max_increment=1,
+            )
+            for i, s in enumerate(range(0, data.shape[0], cap))
+        ]
+
+    def test_results_sorted_by_partition(self):
+        data, queries = _workload()
+        run = run_partitions(
+            self._tasks(data, 12), queries, ParallelConfig(n_workers=2)
+        )
+        assert [r.p_idx for r in run.results] == list(range(len(run.results)))
+
+    def test_reports_actual_worker_count(self):
+        data, queries = _workload()
+        tasks = self._tasks(data, 12)
+        assert run_partitions(tasks, queries, ParallelConfig()).n_workers == 1
+        assert (
+            run_partitions(tasks, queries, ParallelConfig(n_workers=2)).n_workers
+            == 2
+        )
+        # more workers than partitions: capped at the task count
+        capped = run_partitions(tasks, queries, ParallelConfig(n_workers=64))
+        assert capped.n_workers == len(tasks)
+
+    def test_serial_equals_parallel(self):
+        data, queries = _workload()
+        tasks = self._tasks(data, 12)
+        serial = run_partitions(tasks, queries, ParallelConfig(n_workers=1)).results
+        pooled = run_partitions(tasks, queries, ParallelConfig(n_workers=3)).results
+        for a, b in zip(serial, pooled):
+            assert (a.q_idx == b.q_idx).all()
+            assert (a.codes == b.codes).all()
+            assert (a.cycles == b.cycles).all()
+            assert a.counters == b.counters
+
+    def test_execute_partition_counters_functional(self):
+        data, queries = _workload(n=10)
+        (task,) = self._tasks(data, 10)
+        res = execute_partition(task, queries)
+        assert res.counters.configurations == 1
+        assert res.counters.reports_received == 10 * queries.shape[0]
+
+    def test_execute_partition_rejects_bad_mode(self):
+        data, queries = _workload(n=10)
+        (task,) = self._tasks(data, 10)
+        bad = PartitionTask(
+            p_idx=0, start=0, end=10, dataset_bits=data, mode="warp",
+            d=task.d, collector_depth=task.collector_depth,
+            max_fan_in=16, counter_max_increment=1,
+        )
+        with pytest.raises(ValueError, match="mode"):
+            execute_partition(bad, queries)
+
+    def test_worker_counters_match_engine_counters(self):
+        """Per-partition deltas sum to exactly the sequential counters."""
+        data, queries = _workload()
+        run = run_partitions(
+            self._tasks(data, 12), queries, ParallelConfig(n_workers=2)
+        )
+        total = RuntimeCounters()
+        for r in run.results:
+            total.merge(r.counters)
+        seq = APSimilaritySearch(
+            data, k=2, board_capacity=12, execution="functional"
+        ).search(queries)
+        assert total == seq.counters

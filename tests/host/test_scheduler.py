@@ -72,3 +72,51 @@ class TestPolicies:
         for p in POLICIES:
             res = wordembed_schedule(p)
             assert 0 < res.device_utilization <= 1.0
+
+
+class TestMultiWorkerOverlap:
+    """n_workers models the sharded parallel execution layer."""
+
+    def _run(self, policy, n_workers, n_partitions=8):
+        return schedule_knn_run(
+            n_partitions, 64, 16, 2 * 16 + 4,
+            reports_per_partition=64 * 32,
+            policy=policy, n_workers=n_workers,
+        )
+
+    @pytest.mark.parametrize("policy", ["async", "query-overlap"])
+    def test_workers_shrink_makespan(self, policy):
+        t1 = self._run(policy, 1).makespan_s
+        t2 = self._run(policy, 2).makespan_s
+        t4 = self._run(policy, 4).makespan_s
+        assert t4 < t2 < t1
+        # reconfiguration dominates this workload, so lanes scale it
+        assert t2 == pytest.approx(t1 / 2, rel=0.15)
+
+    def test_blocking_ignores_workers(self):
+        t1 = self._run("blocking", 1)
+        t4 = self._run("blocking", 4)
+        assert t4.makespan_s == t1.makespan_s
+        assert t4.n_workers == 1
+
+    def test_workers_capped_by_partitions(self):
+        res = self._run("async", 64, n_partitions=3)
+        assert res.n_workers == 3
+
+    def test_single_worker_unchanged(self):
+        """n_workers=1 must reproduce the historical schedule exactly."""
+        old = self._run("async", 1)
+        assert old.n_workers == 1
+        assert old.timeline.device[0].kind.value == "configure"
+
+    def test_worker_validation(self):
+        with pytest.raises(ValueError, match="worker"):
+            self._run("async", 0)
+
+    def test_merged_timeline_preserves_total_work(self):
+        t1 = self._run("async", 1)
+        t4 = self._run("async", 4)
+        assert t4.timeline.device_busy_s == pytest.approx(
+            t1.timeline.device_busy_s
+        )
+        assert t4.timeline.host_busy_s == pytest.approx(t1.timeline.host_busy_s)

@@ -41,6 +41,29 @@ class TestSearch:
         main(["search", d, q, "--device", "gen2"])
         assert "gen2 device time" in capsys.readouterr().out
 
+    def test_workers_flag_identical_results(self, dataset_files, capsys):
+        d, q, data, queries = dataset_files
+        main(["search", d, q, "-k", "3", "--board-capacity", "16",
+              "--execution", "functional", "--workers", "2"])
+        out = capsys.readouterr().out
+        assert "workers=2" in out
+        from repro.core.engine import APSimilaritySearch
+
+        ref = APSimilaritySearch(
+            data, k=3, board_capacity=16, execution="functional"
+        ).search(queries)
+        for qi in range(3):
+            pair = f"{ref.indices[qi][0]}:{ref.distances[qi][0]}"
+            assert f"q{qi}: {pair}" in out
+
+    def test_cache_flag_reports_stats(self, dataset_files, capsys):
+        d, q, *_ = dataset_files
+        main(["search", d, q, "--board-capacity", "16",
+              "--execution", "functional", "--cache-size", "8"])
+        out = capsys.readouterr().out
+        assert "image cache" in out
+        assert "4 entries" in out  # 64 vectors / 16 per board
+
 
 class TestCompileSimulate:
     def test_compile_to_stdout(self, capsys):

@@ -90,6 +90,31 @@ class TestBoundedPriorityQueue:
         got = [i for i, _ in pq.sorted_items()]
         assert got == reference_topk(values, k)
 
+    @given(
+        st.lists(st.integers(0, 3), min_size=1, max_size=80),
+        st.integers(1, 10),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_parity_with_topk_from_distances_under_ties(self, values, k, rnd):
+        """Both selectors implement the same (distance, index) tie-break.
+
+        Distances are drawn from {0..3} so duplicate distances dominate,
+        and insertion order is shuffled so heap eviction order cannot
+        accidentally mirror index order.
+        """
+        distances = np.array(values, dtype=np.int64)
+        exp_idx, exp_dist = topk_from_distances(distances, k)
+
+        order = list(range(len(values)))
+        rnd.shuffle(order)
+        pq = BoundedPriorityQueue(k)
+        for i in order:
+            pq.push(values[i], i)
+        items = pq.sorted_items()
+        assert [i for i, _ in items] == exp_idx.tolist()
+        assert [d for _, d in items] == exp_dist.tolist()
+
 
 class TestMergeTopk:
     def test_merges_partitions(self):
