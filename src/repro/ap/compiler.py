@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import hashlib
 import math
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Hashable
@@ -355,6 +356,11 @@ class BoardImageCache:
     opaque (the engine stores :class:`~repro.ap.runtime.BoardImage`
     objects for the cycle-accurate back-end and functional boards for
     the fast one).  Eviction is least-recently-used.
+
+    Thread-safe: the engine's ``backend="thread"`` workers consult one
+    shared instance concurrently, so every operation holds an internal
+    lock (entry construction happens outside the cache, so the lock is
+    only ever held for dict bookkeeping).
     """
 
     DEFAULT_MAX_ENTRIES = 64
@@ -364,33 +370,39 @@ class BoardImageCache:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = int(max_entries)
         self._entries: OrderedDict[tuple, Any] = OrderedDict()
+        self._lock = threading.RLock()
         self.stats = CacheStats()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: tuple) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: tuple) -> Any | None:
         """Return the cached artifact or None; a hit refreshes recency."""
-        try:
-            value = self._entries[key]
-        except KeyError:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
 
     def put(self, key: tuple, value: Any) -> None:
         """Insert (or refresh) an artifact, evicting the LRU entry if full."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()

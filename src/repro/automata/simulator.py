@@ -241,7 +241,10 @@ class CompiledSimulator:
             if record_trace
             else None
         )
-        reports: list[Report] = []
+        # Per-cycle (codes, cycle) report batches; materialized into
+        # Report objects once after the cycle loop so no per-activation
+        # Python object construction runs inside it.
+        report_chunks: list[tuple[np.ndarray, int]] = []
         ste_slice = slice(0, self.n_stes)
         ctr_slice = slice(self.n_stes, self.n_stes + self.n_counters)
 
@@ -299,18 +302,21 @@ class CompiledSimulator:
                     v = not vals[0]
                 new[idx] = v
 
-            # Phase 4: reports.
+            # Phase 4: reports — accumulate this cycle's fired codes as
+            # one array; Report conversion happens after the loop.
             if self.reporting_idx.size:
                 fired = new[self.reporting_idx]
                 if fired.any():
-                    for code in self.reporting_codes[fired]:
-                        reports.append(Report(int(code), t))
+                    report_chunks.append((self.reporting_codes[fired], t))
 
             act = new
             if record_trace:
                 trace[t] = act
                 ctr_trace[t] = counts
 
+        reports = [
+            Report(int(code), t) for codes, t in report_chunks for code in codes
+        ]
         final_counts = {
             c.name: int(counts[i]) for i, c in enumerate(self._counters)
         }

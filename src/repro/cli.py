@@ -33,12 +33,19 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--device", choices=["gen1", "gen2"], default="gen1")
     s.add_argument("--board-capacity", type=int, default=None)
     s.add_argument("--workers", type=int, default=1,
-                   help="worker processes for sharded partition execution "
+                   help="worker lanes for sharded partition execution "
                         "(1 = sequential)")
+    s.add_argument("--backend", choices=["process", "thread"],
+                   default="process",
+                   help="worker pool flavor: processes (true multi-core "
+                        "for the cycle simulator) or threads (functional "
+                        "kernels release the GIL; shares the board-image "
+                        "cache with the parent)")
     s.add_argument("--cache-size", type=int, default=0,
                    help="LRU board-image cache capacity (0 = no cache); "
-                        "the cache is in-process, so it only accelerates "
-                        "sequential runs (--workers 1)")
+                        "the cache is in-process: used by sequential runs "
+                        "and --backend thread workers, idle under "
+                        "--backend process")
     s.add_argument("--execution", choices=["auto", "simulate", "functional"],
                    default="auto")
     s.add_argument("--out", default=None, help="save indices to this .npy")
@@ -64,6 +71,7 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_search(args) -> int:
     from repro.ap.device import GEN1, GEN2
     from repro.core.engine import APSimilaritySearch
+    from repro.host.parallel import ParallelConfig
 
     dataset = np.load(args.dataset)
     queries = np.load(args.queries)
@@ -74,7 +82,7 @@ def _cmd_search(args) -> int:
         device=device,
         board_capacity=args.board_capacity,
         execution=args.execution,
-        parallel=args.workers,
+        parallel=ParallelConfig(n_workers=args.workers, backend=args.backend),
         cache=args.cache_size,  # <= 0 disables caching
     )
     result = engine.search(queries.astype(np.uint8))
@@ -86,8 +94,8 @@ def _cmd_search(args) -> int:
           f"reports={result.counters.reports_received}")
     if engine.cache is not None:
         st = engine.cache.stats
-        note = (" (idle: parallel workers rebuild their own artifacts)"
-                if result.n_workers > 1 else "")
+        note = (" (idle: process workers rebuild their own artifacts)"
+                if result.n_workers > 1 and args.backend == "process" else "")
         print(f"# image cache: {len(engine.cache)} entries, "
               f"{st.hits} hits / {st.misses} misses, "
               f"{st.evictions} evictions{note}")

@@ -20,7 +20,13 @@ from .macros import (
     collector_tree_depth,
     macro_ste_cost,
 )
-from .stream import StreamLayout, decode_report_offset, encode_query, encode_query_batch
+from .stream import (
+    StreamLayout,
+    decode_report_offset,
+    decode_report_offsets,
+    encode_query,
+    encode_query_batch,
+)
 
 __all__ = [
     "APSimilaritySearch",
@@ -45,6 +51,7 @@ __all__ = [
     "macro_ste_cost",
     "StreamLayout",
     "decode_report_offset",
+    "decode_report_offsets",
     "encode_query",
     "encode_query_batch",
 ]

@@ -51,16 +51,17 @@ from ..ap.device import APDeviceSpec, GEN1
 from ..ap.runtime import APRuntime, REPORT_RECORD_BITS, RuntimeCounters
 from ..host.parallel import ParallelConfig, PartitionTask, run_partitions
 from ..perf.models import APModel
-from ..util.topk import merge_topk
+from ..util.topk import merge_topk_batch
 from .functional import FunctionalKnnBoard
 from .macros import MacroConfig, build_knn_network, collector_tree_depth
-from .stream import StreamLayout, decode_report_offset, encode_query_batch
+from .stream import StreamLayout, decode_report_offsets, encode_query_batch
 
 __all__ = [
     "KnnResult",
     "APSimilaritySearch",
     "build_functional_board",
     "run_partition_functional",
+    "run_partition_functional_topk",
     "run_partition_simulated",
 ]
 
@@ -116,9 +117,15 @@ def run_partition_simulated(
     )
     runtime.configure(image)
     reports = runtime.stream(encode_query_batch(queries, layout))
-    q_idx = np.array([r.cycle // layout.block_length for r in reports])
-    codes = np.array([r.code for r in reports], dtype=np.int64) + start
-    cycles = np.array([r.cycle for r in reports], dtype=np.int64)
+    # Explicit dtypes: an empty report list must still yield int64
+    # arrays (a bare np.array([]) is float64 and would poison the
+    # decoder's integer index math downstream).
+    n_rep = len(reports)
+    cycles = np.fromiter((r.cycle for r in reports), dtype=np.int64, count=n_rep)
+    codes = (
+        np.fromiter((r.code for r in reports), dtype=np.int64, count=n_rep) + start
+    )
+    q_idx = cycles // layout.block_length
     return q_idx, codes, cycles, runtime.counters
 
 
@@ -148,6 +155,37 @@ def run_partition_functional(
     counters.reports_received += codes.shape[0]
     counters.report_payload_bits += codes.shape[0] * REPORT_RECORD_BITS
     return q_idx, codes, cycles, counters
+
+
+def run_partition_functional_topk(
+    board: FunctionalKnnBoard,
+    queries: np.ndarray,
+    layout: StreamLayout,
+    start: int,
+    k: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, RuntimeCounters]:
+    """Top-k-aware functional back-end: only the ``k`` earliest reports
+    per query flow to the decoder (``~n/k`` less report traffic), via
+    :meth:`~repro.core.functional.FunctionalKnnBoard.query_topk`.
+
+    Counter accounting is unchanged from :func:`run_partition_functional`:
+    the (modeled) board still emits one report per vector per query —
+    the temporal sort has no early-out — so ``reports_received`` and
+    the payload bits count the full stream; only the *host-side*
+    decode traffic shrinks.  The returned flat arrays are exactly the
+    first ``min(k, n)`` records per query of the full report stream.
+    """
+    counters = RuntimeCounters()
+    codes2d, cycles2d = board.query_topk(queries, k)
+    n_q, k_eff = codes2d.shape
+    q_idx = np.repeat(np.arange(n_q, dtype=np.int64), k_eff)
+    codes = codes2d.ravel() + start  # re-base partition-local report codes
+    counters.configurations += 1
+    counters.symbols_streamed += n_q * layout.block_length
+    n_emitted = n_q * board.n  # full stream, not the k kept
+    counters.reports_received += n_emitted
+    counters.report_payload_bits += n_emitted * REPORT_RECORD_BITS
+    return q_idx, codes, cycles2d.ravel(), counters
 
 
 @dataclass
@@ -199,8 +237,14 @@ class APSimilaritySearch:
         ``None``/``1`` for sequential execution, an ``int`` worker
         count, or a :class:`~repro.host.parallel.ParallelConfig`.
         With more than one worker, multi-partition searches fan out
-        across a process pool (serial fallback if the pool cannot be
-        created); results are bit-identical to sequential execution.
+        across a worker pool — ``backend="process"`` (default) or
+        ``backend="thread"`` (the functional kernels release the GIL
+        inside NumPy, so threads scale there while skipping
+        query-batch pickling); serial fallback if a pool cannot be
+        created.  Results are bit-identical to sequential execution
+        either way.  ``ParallelConfig(persistent=True)`` keeps the
+        pool alive across searches for long-lived services (close it
+        with ``config.close()`` or a ``with`` block).
     cache:
         ``None`` to disable, ``True`` for a private LRU
         :class:`~repro.ap.compiler.BoardImageCache` of default size,
@@ -209,9 +253,10 @@ class APSimilaritySearch:
         engines.  Keys are content-addressed (compiled artifacts carry
         partition-local report codes, re-based at decode), so engines
         whose shards overlap on identical partition content hit each
-        other's entries.  The cache lives in this process: it
-        accelerates sequential execution only — with ``parallel``
-        workers each worker process rebuilds its own artifacts.
+        other's entries.  The cache lives in this process: sequential
+        execution and ``backend="thread"`` workers (which share the
+        parent's memory) consult and fill it; with process workers
+        each worker rebuilds its own artifacts.
     """
 
     def __init__(
@@ -330,23 +375,29 @@ class APSimilaritySearch:
         mode = self._choose_execution(queries_bits.shape[0])
         n_q = queries_bits.shape[0]
 
-        # Per-query running top-k across partitions (host-side merge,
+        # Per-partition (q, k) candidate blocks (host-side merge,
         # Section III-C: "the host processor ... keep[s] track of
         # intermediary results per query across board reconfigurations").
-        partials: list[list[tuple[np.ndarray, np.ndarray]]] = [[] for _ in range(n_q)]
+        # Collected as arrays and merged in ONE batched pass at the end
+        # — no per-query Python runs between report decode and the
+        # final KnnResult.
+        partials: list[tuple[np.ndarray, np.ndarray]] = []
         counters = RuntimeCounters()
 
         n_workers_used = 1
         if self.parallel.effective_workers > 1 and len(self.partitions) > 1:
             run = run_partitions(
-                self._partition_tasks(mode), queries_bits, self.parallel
+                self._partition_tasks(mode),
+                queries_bits,
+                self.parallel,
+                cache=self.cache,
             )
             n_workers_used = run.n_workers
             for res in run.results:  # sorted by partition index
                 counters.merge(res.counters)
-                self._decode_partition(
-                    res.q_idx, res.codes, res.cycles, partials, n_q
-                )
+                block = self._decode_partition(res.q_idx, res.codes, res.cycles, n_q)
+                if block is not None:
+                    partials.append(block)
         else:
             for start, end in self.partitions:
                 if mode == "simulate":
@@ -357,18 +408,25 @@ class APSimilaritySearch:
                     q_idx, codes, cycles = self._run_functional(
                         queries_bits, start, end, counters
                     )
-                self._decode_partition(q_idx, codes, cycles, partials, n_q)
+                block = self._decode_partition(q_idx, codes, cycles, n_q)
+                if block is not None:
+                    partials.append(block)
 
-        # merge_topk may legally return fewer than k rows (e.g. a
-        # back-end produced fewer reports than dataset vectors); pad
-        # short rows instead of crashing on the broadcast.
-        indices = np.full((n_q, self.k), PAD_INDEX, dtype=np.int64)
-        distances = np.full((n_q, self.k), PAD_DISTANCE, dtype=np.int64)
-        for qi in range(n_q):
-            idx, dist = merge_topk(partials[qi], self.k)
-            found = min(idx.shape[0], self.k)
-            indices[qi, :found] = idx[:found]
-            distances[qi, :found] = dist[:found].astype(np.int64)
+        # The batched merge may legally find fewer than k candidates
+        # for a query (e.g. a back-end produced fewer reports than
+        # dataset vectors); short rows come back padded instead of
+        # crashing on a broadcast.
+        if partials:
+            indices, distances = merge_topk_batch(
+                np.concatenate([b[0] for b in partials], axis=1),
+                np.concatenate([b[1] for b in partials], axis=1),
+                self.k,
+                pad_index=PAD_INDEX,
+                pad_distance=PAD_DISTANCE,
+            )
+        else:
+            indices = np.full((n_q, self.k), PAD_INDEX, dtype=np.int64)
+            distances = np.full((n_q, self.k), PAD_DISTANCE, dtype=np.int64)
         return KnnResult(
             indices=indices,
             distances=distances,
@@ -382,7 +440,14 @@ class APSimilaritySearch:
     # -- back-ends --------------------------------------------------------
 
     def _partition_tasks(self, mode: str) -> list[PartitionTask]:
-        """Self-contained, picklable work units for the parallel layer."""
+        """Self-contained, picklable work units for the parallel layer.
+
+        ``k`` lets functional workers ship back only the top-k report
+        rows per query; ``cache_key`` lets in-process workers (thread
+        backend or serial fallback) share this engine's board-image
+        cache — process workers ignore it and rebuild.
+        """
+        flavor = "image" if mode == "simulate" else "functional"
         return [
             PartitionTask(
                 p_idx=p_idx,
@@ -395,6 +460,12 @@ class APSimilaritySearch:
                 max_fan_in=self.macro_config.max_fan_in,
                 counter_max_increment=self.macro_config.counter_max_increment,
                 device=self.device,
+                k=self.k,
+                cache_key=(
+                    self._cache_key(start, end, flavor)
+                    if self.cache is not None
+                    else None
+                ),
             )
             for p_idx, (start, end) in enumerate(self.partitions)
         ]
@@ -437,44 +508,56 @@ class APSimilaritySearch:
             board = build_functional_board(self.dataset[start:end], self.layout)
             if self.cache is not None:
                 self.cache.put(key, board)
-        q_idx, codes, cycles, delta = run_partition_functional(
-            board, queries, self.layout, start
+        q_idx, codes, cycles, delta = run_partition_functional_topk(
+            board, queries, self.layout, start, self.k
         )
         counters.merge(delta)
         return q_idx, codes, cycles
 
     # -- decoding ----------------------------------------------------------
 
-    def _decode_partition(self, q_idx, codes, cycles, partials, n_q):
+    def _decode_partition(self, q_idx, codes, cycles, n_q):
         """Keep the earliest k reports per query: they ARE the top-k.
 
         Reports arrive ordered by activation time; the temporal sort
         means earlier activation = smaller distance, and simultaneous
         activations are consumed in state-ID (= dataset index) order,
         matching the library-wide tie-break.
+
+        Fully vectorized: one lexsort over the report batch, a
+        cumsum-based gather of each query's first ``k`` rows, and one
+        :func:`~repro.core.stream.decode_report_offsets` call — no
+        per-report (or per-query) Python.  Returns ``(indices,
+        distances)`` as ``(n_q, k)`` int64 arrays padded with
+        ``PAD_INDEX``/``PAD_DISTANCE`` where a query produced fewer
+        than ``k`` reports, or ``None`` for an empty batch.
         """
+        codes = np.asarray(codes, dtype=np.int64)
         if codes.shape[0] == 0:
-            return
+            return None
+        q_idx = np.asarray(q_idx, dtype=np.int64)
+        cycles = np.asarray(cycles, dtype=np.int64)
         order = np.lexsort((codes, cycles, q_idx))
         q_sorted = q_idx[order]
-        codes_sorted = codes[order]
-        cycles_sorted = cycles[order]
-        block_starts = np.searchsorted(q_sorted, np.arange(n_q), side="left")
-        block_ends = np.searchsorted(q_sorted, np.arange(n_q), side="right")
-        for qi in range(n_q):
-            lo, hi = block_starts[qi], min(block_ends[qi], block_starts[qi] + self.k)
-            if hi <= lo:
-                continue
-            sel_codes = codes_sorted[lo:hi]
-            sel_cycles = cycles_sorted[lo:hi]
-            dists = np.array(
-                [
-                    decode_report_offset(int(c), self.layout)[2]
-                    for c in sel_cycles
-                ],
-                dtype=np.int64,
-            )
-            partials[qi].append((sel_codes, dists))
+        starts = np.searchsorted(q_sorted, np.arange(n_q), side="left")
+        ends = np.searchsorted(q_sorted, np.arange(n_q), side="right")
+        take = np.minimum(ends - starts, self.k)
+        total = int(take.sum())
+        if total == 0:
+            return None
+        # Flat positions of each query's first `take[qi]` sorted rows:
+        # a per-query arange built from one cumsum, no Python loop.
+        col = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(take) - take, take
+        )
+        sel = order[np.repeat(starts, take) + col]
+        rows = np.repeat(np.arange(n_q, dtype=np.int64), take)
+        _, _, dists = decode_report_offsets(cycles[sel], self.layout)
+        idx_block = np.full((n_q, self.k), PAD_INDEX, dtype=np.int64)
+        dist_block = np.full((n_q, self.k), PAD_DISTANCE, dtype=np.int64)
+        idx_block[rows, col] = codes[sel]
+        dist_block[rows, col] = dists
+        return idx_block, dist_block
 
     # -- performance hooks ---------------------------------------------------
 

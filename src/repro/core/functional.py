@@ -12,13 +12,33 @@ Tests cross-validate this path against
 uses it for datasets too large to cycle-simulate (the paper's 2^20
 points), exactly as the paper itself uses the AP SDK's functional
 simulation for run-time estimates (Section IV-B).
+
+Two query entry points with different complexity/memory envelopes:
+
+* :meth:`FunctionalKnnBoard.query_reports` reproduces the *full*
+  report stream (one record per dataset vector per query) — ``O(q n)``
+  records, ``O(q n log n)`` sort work.  The simulator cross-validation
+  tests need every record, so this path stays.
+* :meth:`FunctionalKnnBoard.query_topk` returns only the ``k``
+  *earliest* reports per query — what the engine's decoder actually
+  keeps — via ``np.argpartition`` on a combined ``(cycle, code)`` key:
+  ``O(q n)`` selection plus an ``O(q k log k)`` bounded tie-break
+  sort, and ``~n/k`` less report traffic into the decoder.
+
+``query_topk`` processes queries in tiles (:func:`~repro.util.bitops.
+default_cdist_tile`), so its peak memory is one tile's ``(tile_q, n)``
+distance/key arrays plus the cdist kernel's own bounded intermediate —
+never a ``q``-proportional blow-up at the paper's ``n = 2**20`` scale.
+``query_reports`` necessarily materializes full ``(q, n)`` report
+arrays (its output *is* every record), so only its cdist intermediate
+is tiled; size query batches accordingly when cross-validating.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..util.bitops import hamming_cdist_packed, pack_bits
+from ..util.bitops import default_cdist_tile, hamming_cdist_packed, pack_bits
 from .stream import StreamLayout
 
 __all__ = ["FunctionalKnnBoard"]
@@ -78,3 +98,55 @@ class FunctionalKnnBoard:
             cycles_sorted + np.arange(n_q, dtype=np.int64)[:, None] * self.layout.block_length
         )
         return query_idx, codes_sorted.ravel(), global_cycles.ravel()
+
+    def query_topk(
+        self, queries_bits: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The ``k`` earliest report records per query, ``(q, k_eff)`` arrays.
+
+        Returns ``(codes, cycles)`` where row ``qi`` holds that query's
+        ``k_eff = min(k, n)`` earliest reports in (cycle, code) order —
+        exactly the first ``k_eff`` records :meth:`query_reports` would
+        yield for the query, because the temporal sort makes "earliest
+        reports" and "nearest neighbors" the same set.  Selection packs
+        each report's ``(cycle, code)`` pair into one unique int64 key
+        (``cycle * n + code``; codes are distinct, so keys are too),
+        ``np.argpartition``\\ s the ``k_eff`` smallest keys per row in
+        ``O(n)``, and sorts only those — never a full ``O(n log n)``
+        argsort, and the tie-break at the ``k``-th distance is exact
+        rather than argpartition's arbitrary boundary subset.
+
+        Peak memory is one query tile's ``(tile_q, n)`` int64 distance
+        and key arrays (plus the cdist kernel's bounded intermediate);
+        tiles are sized by :func:`~repro.util.bitops.default_cdist_tile`.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        queries_bits = np.asarray(queries_bits, dtype=np.uint8)
+        if queries_bits.ndim == 1:
+            queries_bits = queries_bits[None, :]
+        qp = pack_bits(queries_bits)
+        n_q = queries_bits.shape[0]
+        n = self.n
+        k_eff = min(int(k), n)
+        base_offset = 2 * self.layout.d + self.layout.collector_depth + 2
+
+        codes_out = np.empty((n_q, k_eff), dtype=np.int64)
+        cycles_out = np.empty((n_q, k_eff), dtype=np.int64)
+        idx = np.arange(n, dtype=np.int64)
+        tile = default_cdist_tile(n, self._packed.shape[1])
+        for lo in range(0, n_q, tile):
+            hi = min(lo + tile, n_q)
+            dist = hamming_cdist_packed(qp[lo:hi], self._packed, tile_q=tile)
+            # block-local report cycle of each vector; see query_reports
+            local = (base_offset - self.layout.d) + dist
+            keys = local * n + idx  # unique (cycle, code) sort keys
+            if k_eff < n:
+                part = np.argpartition(keys, k_eff - 1, axis=1)[:, :k_eff]
+                keys = np.take_along_axis(keys, part, axis=1)
+            keys = np.sort(keys, axis=1)
+            codes_out[lo:hi] = keys % n
+            cycles_out[lo:hi] = keys // n
+        cycles_out += np.arange(n_q, dtype=np.int64)[:, None] * self.layout.block_length
+        codes_out += self.report_code_base
+        return codes_out, cycles_out

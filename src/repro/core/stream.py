@@ -33,7 +33,13 @@ import numpy as np
 
 from ..automata.symbols import EOF, PAD, SOF
 
-__all__ = ["StreamLayout", "encode_query", "encode_query_batch", "decode_report_offset"]
+__all__ = [
+    "StreamLayout",
+    "encode_query",
+    "encode_query_batch",
+    "decode_report_offset",
+    "decode_report_offsets",
+]
 
 
 @dataclass(frozen=True)
@@ -153,3 +159,38 @@ def decode_report_offset(
         )
     m = layout.inverted_hamming(local)
     return block, m, layout.d - m
+
+
+def decode_report_offsets(
+    cycles: np.ndarray, layout: StreamLayout
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized :func:`decode_report_offset` over an array of cycles.
+
+    Returns ``(query_index, inverted_hamming, distance)`` int64 arrays
+    of the input's shape.  One array op per output — no per-report
+    Python runs, which is what keeps the engine's decode path
+    ``O(reports)`` NumPy work instead of ``O(reports)`` interpreter
+    dispatches.  Validation matches the scalar decoder: any negative
+    cycle or cycle landing outside a block's report window raises, and
+    the error names the first offending record.
+    """
+    cycles = np.asarray(cycles, dtype=np.int64)
+    if cycles.size and cycles.min() < 0:
+        bad = int(cycles.ravel()[np.argmin(cycles)])
+        raise ValueError(f"report cycle must be non-negative, got {bad}")
+    blocks = cycles // layout.block_length
+    local = cycles % layout.block_length
+    lo = layout.first_report_offset
+    invalid = local < lo
+    if invalid.any():
+        flat = np.nonzero(invalid.ravel())[0][0]
+        raise ValueError(
+            f"report cycle {int(cycles.ravel()[flat])} lands at block-local "
+            f"offset {int(local.ravel()[flat])} of query block "
+            f"{int(blocks.ravel()[flat])}, outside the valid report window "
+            f"[{lo}, {layout.eof_offset}] (SOF/Hamming/padding region); the "
+            "report stream is corrupted or decoded with a mismatched "
+            "StreamLayout"
+        )
+    m = (2 * layout.d + layout.collector_depth + 2) - local
+    return blocks, m, layout.d - m

@@ -13,24 +13,42 @@ workers return per-partition report arrays plus per-partition
 consumes both in partition order, so counter aggregation is exact and
 the (distance, index) tie-break is untouched.
 
-:func:`run_partitions` is the entry point.  It uses a
-:class:`~concurrent.futures.ProcessPoolExecutor` (configurable
-``n_workers``) and falls back to in-process serial execution when the
-pool cannot be created (sandboxes without ``fork``/semaphores) or when
-``n_workers <= 1``.  Workers rebuild their partition artifacts from the
-shipped dataset slice — the parent-side board-image cache
-(:class:`~repro.ap.compiler.BoardImageCache`) is per-process and only
-accelerates the serial path.  The pool is created per call and torn
-down afterwards: leak-proof for one-shot batches, but a long-lived
-service issuing many small searches pays worker spawn cost each time
-(a persistent pool is a ROADMAP item).
+Backends
+--------
+
+* ``backend="process"`` — a :class:`~concurrent.futures.
+  ProcessPoolExecutor`.  True multi-core for the cycle simulator;
+  workers rebuild partition artifacts from the shipped dataset slice
+  (the parent's :class:`~repro.ap.compiler.BoardImageCache` is
+  per-process).
+* ``backend="thread"`` — a :class:`~concurrent.futures.
+  ThreadPoolExecutor`.  The functional back-end spends its time inside
+  NumPy kernels that release the GIL, so threads overlap almost as
+  well as processes there while skipping query-batch pickling — and,
+  because threads share the parent's memory, workers consult and fill
+  the engine's board-image cache directly: ``parallel=`` and
+  ``cache=`` finally compose.
+* ``backend="serial"`` — in-process loop regardless of ``n_workers``
+  (debugging aid, and the silent fallback when a pool cannot be
+  created).
+
+Pool lifetime
+-------------
+
+By default a pool is created per :func:`run_partitions` call and torn
+down afterwards — leak-proof for one-shot batches.  A long-lived
+service issuing many small searches should set ``persistent=True``:
+the :class:`ParallelConfig` then owns a lazily-spawned reusable pool,
+usable as a context manager (or via explicit :meth:`~ParallelConfig.
+close`), so repeated searches skip worker spawn cost entirely.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import threading
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -45,36 +63,112 @@ __all__ = [
     "run_partitions",
 ]
 
+_POOL_ERRORS = (OSError, PermissionError, ImportError)
+
 
 @dataclass(frozen=True)
 class ParallelConfig:
     """How the engine fans partitions out across workers.
 
-    ``n_workers <= 1`` means serial in-process execution;
-    ``backend="serial"`` forces it regardless of ``n_workers`` (useful
-    for debugging).  ``fallback_serial`` controls what happens when the
-    process pool cannot be created: degrade gracefully (default) or
-    raise.
+    ``n_workers <= 1`` means serial in-process execution; ``backend``
+    picks ``"process"``, ``"thread"``, or ``"serial"`` (forces serial
+    regardless of ``n_workers``; useful for debugging).
+    ``fallback_serial`` controls what happens when a pool cannot be
+    created: degrade gracefully (default) or raise.
+
+    ``persistent=True`` makes this config own a reusable worker pool:
+    spawned lazily on the first :func:`run_partitions` call, reused by
+    every later call, released by :meth:`close` (or by using the
+    config as a context manager).  The pool handle never participates
+    in equality/hashing, so configs compare by their settings alone.
     """
 
     n_workers: int = 1
     backend: str = "process"
     fallback_serial: bool = True
+    persistent: bool = False
+    _pool: Executor | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    # Guards the persistent pool's lazy spawn/teardown: a long-lived
+    # service may issue concurrent searches through one config, and an
+    # unlocked first-use race would leak a second executor.
+    _pool_lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.n_workers < 0:
             raise ValueError("n_workers must be >= 0")
-        if self.backend not in ("process", "serial"):
+        if self.backend not in ("process", "thread", "serial"):
             raise ValueError(f"unknown parallel backend {self.backend!r}")
 
     @property
     def effective_workers(self) -> int:
-        return self.n_workers if self.backend == "process" else 1
+        return self.n_workers if self.backend in ("process", "thread") else 1
+
+    @property
+    def shares_memory(self) -> bool:
+        """True when workers run in this process (thread/serial): they
+        can read the parent's board-image cache instead of rebuilding."""
+        return self.backend != "process"
+
+    # -- pool lifecycle ---------------------------------------------------
+
+    def _spawn_pool(self, n_workers: int) -> Executor:
+        if self.backend == "thread":
+            return ThreadPoolExecutor(max_workers=n_workers)
+        return ProcessPoolExecutor(max_workers=n_workers)
+
+    def _acquire_pool(self, n_workers: int) -> tuple[Executor, bool]:
+        """Return ``(executor, owned_by_call)``.  Persistent configs
+        hand out their lazily-created shared pool (spawned at full
+        ``n_workers`` so later, larger searches reuse it too); one-shot
+        configs spawn a pool the caller must shut down."""
+        if not self.persistent:
+            return self._spawn_pool(n_workers), True
+        with self._pool_lock:
+            if self._pool is None:
+                object.__setattr__(
+                    self, "_pool", self._spawn_pool(max(self.n_workers, n_workers))
+                )
+            return self._pool, False
+
+    def _discard_pool(self) -> None:
+        """Drop a broken persistent pool so the next call respawns."""
+        with self._pool_lock:
+            pool = self._pool
+            object.__setattr__(self, "_pool", None)
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        """Shut down the persistent pool (no-op if never spawned)."""
+        with self._pool_lock:
+            pool = self._pool
+            object.__setattr__(self, "_pool", None)
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ParallelConfig":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 @dataclass(frozen=True)
 class PartitionTask:
-    """One board partition's worth of work, self-contained and picklable."""
+    """One board partition's worth of work, self-contained and picklable.
+
+    ``k`` (when set) lets functional workers return only the earliest
+    ``k`` report rows per query — the only rows the decoder keeps —
+    instead of the full ``n``-per-query stream; counters still account
+    for the full stream the modeled board would emit.  ``cache_key``
+    is the engine's content-addressed board-image key: in-process
+    workers (thread backend / serial fallback) use it to share the
+    parent's cache, process workers ignore it.
+    """
 
     p_idx: int
     start: int
@@ -86,6 +180,8 @@ class PartitionTask:
     max_fan_in: int
     counter_max_increment: int
     device: APDeviceSpec = GEN1
+    k: int | None = None
+    cache_key: tuple | None = None
 
 
 @dataclass
@@ -100,25 +196,30 @@ class PartitionResult:
 
 
 def execute_partition(
-    task: PartitionTask, queries_bits: np.ndarray
+    task: PartitionTask, queries_bits: np.ndarray, cache=None
 ) -> PartitionResult:
     """Run one partition end to end (worker-side entry point).
 
     Delegates to the engine's shared per-partition back-ends — the same
     functions the sequential path calls — so parallel results are
-    bit-identical by construction.  Imports are deferred so this module
-    can be imported by :mod:`repro.core.engine` without a circular
-    dependency, and so forked workers resolve them lazily.
+    bit-identical by construction.  ``cache`` is a
+    :class:`~repro.ap.compiler.BoardImageCache` shared by in-process
+    callers (thread workers, serial fallback); it is consulted/filled
+    only when the task carries a ``cache_key``.  Imports are deferred
+    so this module can be imported by :mod:`repro.core.engine` without
+    a circular dependency, and so forked workers resolve them lazily.
     """
     from ..core.engine import (
         build_functional_board,
         run_partition_functional,
+        run_partition_functional_topk,
         run_partition_simulated,
     )
     from ..core.macros import MacroConfig
     from ..core.stream import StreamLayout
 
     layout = StreamLayout(task.d, task.collector_depth)
+    key = task.cache_key if cache is not None else None
     if task.mode == "simulate":
         q_idx, codes, cycles, counters = run_partition_simulated(
             task.dataset_bits,
@@ -131,12 +232,26 @@ def execute_partition(
             task.device,
             task.start,
             task.end,
+            cache=cache,
+            cache_key=key,
         )
     elif task.mode == "functional":
-        board = build_functional_board(task.dataset_bits, layout)
-        q_idx, codes, cycles, counters = run_partition_functional(
-            board, queries_bits, layout, task.start
-        )
+        board = cache.get(key) if key is not None else None
+        cache_hit = board is not None
+        if board is None:
+            board = build_functional_board(task.dataset_bits, layout)
+            if key is not None:
+                cache.put(key, board)
+        if task.k is not None:
+            q_idx, codes, cycles, counters = run_partition_functional_topk(
+                board, queries_bits, layout, task.start, task.k
+            )
+        else:
+            q_idx, codes, cycles, counters = run_partition_functional(
+                board, queries_bits, layout, task.start
+            )
+        if cache_hit:
+            counters.image_cache_hits += 1
     else:
         raise ValueError(f"unknown execution mode {task.mode!r}")
     return PartitionResult(
@@ -148,7 +263,7 @@ def execute_partition(
 class PartitionRunReport:
     """All partitions' results plus how the run actually executed.
 
-    ``n_workers`` is the worker-process count that really ran — 1 when
+    ``n_workers`` is the worker-lane count that really ran — 1 when
     the serial path was taken, including silent pool-failure fallback —
     so callers can report true concurrency instead of the requested
     figure.
@@ -159,10 +274,10 @@ class PartitionRunReport:
 
 
 def _run_serial(
-    tasks: list[PartitionTask], queries_bits: np.ndarray
+    tasks: list[PartitionTask], queries_bits: np.ndarray, cache=None
 ) -> PartitionRunReport:
     return PartitionRunReport(
-        results=[execute_partition(t, queries_bits) for t in tasks],
+        results=[execute_partition(t, queries_bits, cache) for t in tasks],
         n_workers=1,
     )
 
@@ -171,37 +286,49 @@ def run_partitions(
     tasks: list[PartitionTask],
     queries_bits: np.ndarray,
     config: ParallelConfig = ParallelConfig(),
+    cache=None,
 ) -> PartitionRunReport:
-    """Execute partition tasks, possibly across worker processes.
+    """Execute partition tasks, possibly across worker processes/threads.
 
     The report's results are **sorted by partition index** regardless
     of worker completion order, so downstream decode/merge and counter
     aggregation are deterministic and bit-identical to the sequential
-    path.
+    path.  ``cache`` (a board-image cache) is forwarded to workers
+    only when they share the parent's memory — thread backend, serial
+    execution, or serial fallback; process workers always rebuild.
     """
     queries_bits = np.ascontiguousarray(queries_bits, dtype=np.uint8)
+    # Thread workers share the parent's memory, so they may use the
+    # cache; serial execution (including fallback) is in-process by
+    # definition and always may.
+    worker_cache = cache if config.shares_memory else None
     n_workers = min(config.effective_workers, len(tasks))
     if n_workers <= 1:
-        return _run_serial(tasks, queries_bits)
+        return _run_serial(tasks, queries_bits, cache)
     try:
-        executor = ProcessPoolExecutor(max_workers=n_workers)
-    except (OSError, PermissionError, ImportError):
+        executor, owned = config._acquire_pool(n_workers)
+    except _POOL_ERRORS:
         if config.fallback_serial:
-            return _run_serial(tasks, queries_bits)
+            return _run_serial(tasks, queries_bits, cache)
         raise
     try:
         futures = [
-            executor.submit(execute_partition, t, queries_bits) for t in tasks
+            executor.submit(execute_partition, t, queries_bits, worker_cache)
+            for t in tasks
         ]
         results = [f.result() for f in futures]
-    except (OSError, PermissionError, BrokenProcessPool) as exc:
+    except (*_POOL_ERRORS, BrokenProcessPool) as exc:
         # Pool creation can succeed but worker spawn still fail (e.g.
-        # blocked semaphores); degrade the same way.
+        # blocked semaphores); degrade the same way.  A broken
+        # persistent pool is discarded so the next call respawns.
+        if not owned:
+            config._discard_pool()
         if config.fallback_serial:
-            return _run_serial(tasks, queries_bits)
+            return _run_serial(tasks, queries_bits, cache)
         raise RuntimeError("parallel partition execution failed") from exc
     finally:
-        executor.shutdown(wait=True)
+        if owned:
+            executor.shutdown(wait=True)
     return PartitionRunReport(
         results=sorted(results, key=lambda r: r.p_idx),
         n_workers=n_workers,

@@ -14,7 +14,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["topk_from_distances", "BoundedPriorityQueue", "merge_topk"]
+__all__ = [
+    "topk_from_distances",
+    "BoundedPriorityQueue",
+    "merge_topk",
+    "merge_topk_batch",
+]
 
 
 def topk_from_distances(distances: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
@@ -109,3 +114,58 @@ def merge_topk(
     order = np.lexsort((all_idx, all_dist))
     order = order[: min(k, order.shape[0])]
     return all_idx[order], all_dist[order]
+
+
+def merge_topk_batch(
+    indices: np.ndarray,
+    distances: np.ndarray,
+    k: int,
+    pad_index: int = -1,
+    pad_distance: int = -1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched cross-partition merge: ``(q, m) -> (q, k)`` in one pass.
+
+    ``indices``/``distances`` hold every query's candidates from all
+    partitions side by side (partition blocks concatenated along axis
+    1); slots equal to ``pad_index`` are empty and ignored.  Returns
+    ``(q, k)`` int64 arrays sorted by ascending (distance, index) per
+    row — exactly what :func:`merge_topk` returns per query, but with
+    no per-query Python: each (distance, index) pair is packed into a
+    unique int64 key (pads map to the maximum key, sorting last), the
+    ``k`` smallest keys per row are selected with ``np.argpartition``
+    + a bounded sort, and rows with fewer than ``k`` real candidates
+    come back padded with ``(pad_index, pad_distance)``.
+
+    Key packing requires non-negative distances and indices (true for
+    Hamming distances and dataset positions); ``distances * (max_index
+    + 1) + index`` stays far below 2**63 for any realistic ``d``/``n``.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    distances = np.asarray(distances, dtype=np.int64)
+    if indices.shape != distances.shape or indices.ndim != 2:
+        raise ValueError(
+            f"indices/distances must be equal-shape (q, m) arrays, got "
+            f"{indices.shape} vs {distances.shape}"
+        )
+    n_q, m = indices.shape
+    k = int(k)
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    valid = indices != pad_index
+    stride = np.int64(max(int(indices.max(initial=0)) + 1, 1))
+    pad_key = np.iinfo(np.int64).max
+    keys = np.where(valid, distances * stride + indices, pad_key)
+    if k < m:
+        part = np.argpartition(keys, k - 1, axis=1)[:, :k]
+        keys = np.take_along_axis(keys, part, axis=1)
+    elif k > m:
+        keys = np.concatenate(
+            [keys, np.full((n_q, k - m), pad_key, dtype=np.int64)], axis=1
+        )
+    keys = np.sort(keys, axis=1)
+    found = keys != pad_key
+    out_idx = np.full((n_q, k), pad_index, dtype=np.int64)
+    out_dist = np.full((n_q, k), pad_distance, dtype=np.int64)
+    out_idx[found] = keys[found] % stride
+    out_dist[found] = keys[found] // stride
+    return out_idx, out_dist

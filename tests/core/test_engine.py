@@ -160,6 +160,40 @@ class TestShortTopkRegression:
         assert eng.k == 3
 
 
+class TestEmptyReportDtypes:
+    """Regression: an empty report list must still decode as integers.
+
+    np.array([]) is float64; the historical dtype-less q_idx/codes
+    construction in run_partition_simulated therefore produced float
+    arrays for empty batches, poisoning downstream integer index math.
+    """
+
+    def test_simulated_partition_empty_queries_int64(self):
+        from repro.core.engine import run_partition_simulated
+        from repro.core.macros import MacroConfig, collector_tree_depth
+        from repro.core.stream import StreamLayout
+
+        data = np.zeros((3, 4), dtype=np.uint8)
+        queries = np.zeros((0, 4), dtype=np.uint8)  # no queries -> no reports
+        layout = StreamLayout(4, collector_tree_depth(4, 16))
+        q_idx, codes, cycles, _ = run_partition_simulated(
+            data, queries, layout, MacroConfig(), GEN1, start=0, end=3
+        )
+        assert q_idx.shape == codes.shape == cycles.shape == (0,)
+        assert q_idx.dtype == np.int64
+        assert codes.dtype == np.int64
+        assert cycles.dtype == np.int64
+
+    def test_engine_search_with_zero_queries(self):
+        data = np.zeros((5, 4), dtype=np.uint8)
+        for mode in ("simulate", "functional"):
+            res = APSimilaritySearch(
+                data, k=2, board_capacity=3, execution=mode
+            ).search(np.zeros((0, 4), dtype=np.uint8))
+            assert res.indices.shape == (0, 2)
+            assert res.indices.dtype == np.int64
+
+
 class TestAutoExecutionChoice:
     """_choose_execution sums true per-partition costs (not capacity)."""
 

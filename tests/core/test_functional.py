@@ -62,3 +62,46 @@ class TestFunctionalEquivalence:
     def test_dim_mismatch_rejected(self):
         with pytest.raises(ValueError):
             FunctionalKnnBoard(np.zeros((2, 4), dtype=np.uint8), StreamLayout(8, 1))
+
+
+class TestQueryTopk:
+    """query_topk must equal query_reports truncated to k per query."""
+
+    @given(
+        st.integers(1, 40),  # n
+        st.integers(2, 16),  # d
+        st.integers(1, 5),  # q
+        st.integers(1, 50),  # k (often > n)
+        st.integers(0, 10_000),
+        st.sampled_from(["random", "duplicates", "constant"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_equals_truncated_reports(self, n, d, q, k, seed, flavor):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 2, (n, d), dtype=np.uint8)
+        if flavor == "duplicates":  # heavy ties: few distinct rows
+            data = data[rng.integers(0, max(1, n // 4), n)]
+        elif flavor == "constant":  # maximal ties: one distinct row
+            data[:] = data[0]
+        queries = rng.integers(0, 2, (q, d), dtype=np.uint8)
+        board = FunctionalKnnBoard(data, StreamLayout(d, 1))
+        q_idx, codes, cycles = board.query_reports(queries)
+        top_codes, top_cycles = board.query_topk(queries, k)
+        k_eff = min(k, n)
+        assert top_codes.shape == top_cycles.shape == (q, k_eff)
+        assert top_codes.dtype == top_cycles.dtype == np.int64
+        for qi in range(q):
+            mask = q_idx == qi
+            assert top_codes[qi].tolist() == codes[mask][:k_eff].tolist()
+            assert top_cycles[qi].tolist() == cycles[mask][:k_eff].tolist()
+
+    def test_report_code_base_applied(self):
+        data = np.zeros((4, 6), dtype=np.uint8)
+        board = FunctionalKnnBoard(data, StreamLayout(6, 1), report_code_base=30)
+        codes, _ = board.query_topk(np.zeros((1, 6), dtype=np.uint8), 2)
+        assert codes.tolist() == [[30, 31]]
+
+    def test_rejects_bad_k(self):
+        board = FunctionalKnnBoard(np.zeros((2, 4), dtype=np.uint8), StreamLayout(4, 1))
+        with pytest.raises(ValueError, match="k must be"):
+            board.query_topk(np.zeros((1, 4), dtype=np.uint8), 0)

@@ -9,6 +9,7 @@ from repro.automata.symbols import EOF, PAD, SOF
 from repro.core.stream import (
     StreamLayout,
     decode_report_offset,
+    decode_report_offsets,
     encode_query,
     encode_query_batch,
 )
@@ -133,3 +134,60 @@ class TestDecodeValidation:
         assert decode_report_offset(lay.first_report_offset, lay) == (0, 6, 0)
         # latest legal slot: the EOF cycle carries the m = 0 report
         assert decode_report_offset(lay.eof_offset, lay) == (0, 0, 6)
+
+
+class TestDecodeVectorized:
+    """decode_report_offsets ≡ decode_report_offset, element for element."""
+
+    @given(
+        st.integers(2, 20),  # d
+        st.integers(1, 3),  # depth
+        st.lists(st.tuples(st.integers(0, 50), st.integers(0, 1)), min_size=1,
+                 max_size=40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_scalar_decode(self, d, depth, specs):
+        lay = StreamLayout(d, depth)
+        window = lay.eof_offset - lay.first_report_offset
+        cycles = np.array(
+            [
+                block * lay.block_length + lay.first_report_offset
+                + (frac * window)
+                for block, frac in specs
+            ],
+            dtype=np.int64,
+        )
+        blocks, ms, dists = decode_report_offsets(cycles, lay)
+        for i, c in enumerate(cycles):
+            assert (blocks[i], ms[i], dists[i]) == decode_report_offset(int(c), lay)
+
+    def test_empty_input(self):
+        lay = StreamLayout(5, 1)
+        blocks, ms, dists = decode_report_offsets(np.array([], dtype=np.int64), lay)
+        assert blocks.shape == ms.shape == dists.shape == (0,)
+
+    def test_preserves_shape(self):
+        lay = StreamLayout(4, 1)
+        cycles = np.full((3, 2), lay.eof_offset, dtype=np.int64)
+        blocks, ms, dists = decode_report_offsets(cycles, lay)
+        assert blocks.shape == (3, 2)
+        assert (dists == 4).all()
+
+    def test_rejects_negative_cycle(self):
+        lay = StreamLayout(5, 1)
+        with pytest.raises(ValueError, match="non-negative"):
+            decode_report_offsets(np.array([lay.eof_offset, -3]), lay)
+
+    def test_rejects_negative_cycle_2d(self):
+        """Regression: the error path must flatten before indexing."""
+        lay = StreamLayout(5, 1)
+        cycles = np.array([[lay.eof_offset, -3], [lay.eof_offset, lay.eof_offset]])
+        with pytest.raises(ValueError, match="got -3"):
+            decode_report_offsets(cycles, lay)
+
+    def test_rejects_pre_window_and_names_record(self):
+        lay = StreamLayout(4, 1)
+        bad = 2 * lay.block_length + 1  # Hamming phase of block 2
+        good = lay.eof_offset
+        with pytest.raises(ValueError, match=r"block-local offset 1.*block 2"):
+            decode_report_offsets(np.array([good, bad]), lay)

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.ap.runtime import RuntimeCounters
 from repro.core.engine import APSimilaritySearch
@@ -35,7 +37,10 @@ class TestParallelConfig:
 
     def test_rejects_unknown_backend(self):
         with pytest.raises(ValueError, match="backend"):
-            ParallelConfig(backend="thread")
+            ParallelConfig(backend="warp")
+
+    def test_thread_backend_counts_workers(self):
+        assert ParallelConfig(n_workers=4, backend="thread").effective_workers == 4
 
 
 class TestShardedParity:
@@ -195,3 +200,150 @@ class TestRunPartitions:
             data, k=2, board_capacity=12, execution="functional"
         ).search(queries)
         assert total == seq.counters
+
+
+class TestThreadBackend:
+    """thread ≡ process ≡ sequential, bit for bit."""
+
+    @pytest.mark.parametrize("execution", ["functional", "simulate"])
+    def test_three_way_parity(self, execution):
+        n = 40 if execution == "functional" else 21
+        d = 16 if execution == "functional" else 8
+        data, queries = _workload(n=n, d=d, n_queries=3)
+        cap = 12 if execution == "functional" else 7
+        results = {}
+        for name, parallel in [
+            ("sequential", None),
+            ("process", ParallelConfig(n_workers=2, backend="process")),
+            ("thread", ParallelConfig(n_workers=2, backend="thread")),
+        ]:
+            results[name] = APSimilaritySearch(
+                data, k=4, board_capacity=cap, execution=execution,
+                parallel=parallel,
+            ).search(queries)
+        seq = results["sequential"]
+        for name in ("process", "thread"):
+            res = results[name]
+            assert (res.indices == seq.indices).all(), name
+            assert (res.distances == seq.distances).all(), name
+            assert res.counters == seq.counters, name
+        assert results["thread"].n_workers == 2
+
+    def test_thread_workers_share_cache(self):
+        """parallel= and cache= compose under the thread backend: the
+        second search hits the parent's cache from worker threads."""
+        from repro.ap.compiler import BoardImageCache
+
+        data, queries = _workload()
+        cache = BoardImageCache()
+        eng = APSimilaritySearch(
+            data, k=2, board_capacity=12, execution="functional",
+            parallel=ParallelConfig(n_workers=2, backend="thread"),
+            cache=cache,
+        )
+        cold = eng.search(queries)
+        assert cold.counters.image_cache_hits == 0
+        assert cache.stats.misses == cold.n_partitions
+        warm = eng.search(queries)
+        assert warm.counters.image_cache_hits == warm.n_partitions
+        assert (warm.indices == cold.indices).all()
+        assert (warm.distances == cold.distances).all()
+
+    @given(st.integers(2, 40), st.integers(2, 12), st.integers(1, 4),
+           st.integers(1, 5), st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_thread_parity_property(self, n, d, q, k, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 2, (n, d), dtype=np.uint8)
+        queries = rng.integers(0, 2, (q, d), dtype=np.uint8)
+        cap = max(1, n // 3)
+        seq = APSimilaritySearch(
+            data, k=k, board_capacity=cap, execution="functional"
+        ).search(queries)
+        thr = APSimilaritySearch(
+            data, k=k, board_capacity=cap, execution="functional",
+            parallel=ParallelConfig(n_workers=3, backend="thread"),
+        ).search(queries)
+        assert (thr.indices == seq.indices).all()
+        assert (thr.distances == seq.distances).all()
+
+
+class TestPersistentPool:
+    def test_pool_spawned_lazily_and_reused(self):
+        data, queries = _workload()
+        config = ParallelConfig(n_workers=2, backend="thread", persistent=True)
+        assert config._pool is None
+        eng = APSimilaritySearch(
+            data, k=2, board_capacity=12, execution="functional", parallel=config
+        )
+        eng.search(queries)
+        pool = config._pool
+        assert pool is not None
+        eng.search(queries)
+        assert config._pool is pool  # reused, not respawned
+        config.close()
+        assert config._pool is None
+
+    def test_context_manager_closes(self):
+        data, queries = _workload()
+        with ParallelConfig(n_workers=2, backend="thread", persistent=True) as cfg:
+            res = APSimilaritySearch(
+                data, k=2, board_capacity=12, execution="functional", parallel=cfg
+            ).search(queries)
+            assert res.n_workers == 2
+            assert cfg._pool is not None
+        assert cfg._pool is None
+
+    def test_close_without_spawn_is_noop(self):
+        ParallelConfig(persistent=True).close()
+
+    def test_concurrent_first_use_spawns_one_pool(self):
+        """Racy lazy spawn must not leak a second executor."""
+        import threading
+
+        cfg = ParallelConfig(n_workers=2, backend="thread", persistent=True)
+        barrier = threading.Barrier(4)
+        seen = []
+
+        def acquire():
+            barrier.wait()
+            pool, owned = cfg._acquire_pool(2)
+            seen.append((pool, owned))
+
+        threads = [threading.Thread(target=acquire) for _ in range(4)]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            pools = {id(pool) for pool, _ in seen}
+            assert len(pools) == 1
+            assert all(not owned for _, owned in seen)
+        finally:
+            cfg.close()
+
+    def test_persistent_results_match_one_shot(self):
+        data, queries = _workload()
+        one_shot = APSimilaritySearch(
+            data, k=3, board_capacity=12, execution="functional", parallel=2
+        ).search(queries)
+        with ParallelConfig(n_workers=2, persistent=True) as cfg:
+            persistent = APSimilaritySearch(
+                data, k=3, board_capacity=12, execution="functional", parallel=cfg
+            ).search(queries)
+        assert (persistent.indices == one_shot.indices).all()
+        assert (persistent.distances == one_shot.distances).all()
+        assert persistent.counters == one_shot.counters
+
+    def test_equality_ignores_pool_state(self):
+        data, queries = _workload()
+        cfg = ParallelConfig(n_workers=2, backend="thread", persistent=True)
+        APSimilaritySearch(
+            data, k=1, board_capacity=12, execution="functional", parallel=cfg
+        ).search(queries)
+        try:
+            assert cfg == ParallelConfig(
+                n_workers=2, backend="thread", persistent=True
+            )
+        finally:
+            cfg.close()

@@ -6,6 +6,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.util.bitops import (
+    _popcount_table_u8,
+    _popcount_words_u8,
+    default_cdist_tile,
     hamming_cdist_packed,
     hamming_distance_packed,
     hamming_distance_unpacked,
@@ -77,6 +80,17 @@ class TestPopcount:
         expected = [int(v).bit_count() for v in values]
         assert popcount_u64(words).tolist() == expected
 
+    @given(st.lists(st.integers(0, 2**64 - 1), min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_table_fallback_matches_fast_path(self, values):
+        """The pre-NumPy-2.0 table kernel and whichever backend
+        _popcount_words_u8 selected must agree bit for bit."""
+        words = np.array(values, dtype=np.uint64)
+        table = _popcount_table_u8(words)
+        assert table.dtype == np.uint8
+        assert (table == _popcount_words_u8(words)).all()
+        assert table.tolist() == [int(v).bit_count() for v in values]
+
 
 class TestHammingDistance:
     def test_zero_distance(self):
@@ -128,6 +142,61 @@ class TestHammingDistance:
         ba = hamming_cdist_packed(pack_bits(b), pack_bits(a))
         assert (ab == ba.T).all()
         assert (ab >= 0).all() and (ab <= d).all()
+
+
+class TestTiledCdist:
+    """tile_q / out must never change results, only peak memory."""
+
+    @given(
+        st.integers(1, 24),  # q
+        st.integers(1, 40),  # n
+        st.integers(1, 150),  # d
+        st.integers(1, 30),  # tile_q
+        st.integers(0, 500),
+        st.booleans(),  # heavy distance ties: constant dataset rows
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_tiled_matches_untiled(self, q, n, d, tile_q, seed, tie_heavy):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 2, (q, d), dtype=np.uint8)
+        b = rng.integers(0, 2, (n, d), dtype=np.uint8)
+        if tie_heavy:
+            b[:] = b[0]  # every dataset vector at the same distance
+        qp, bp = pack_bits(a), pack_bits(b)
+        full = hamming_cdist_packed(qp, bp, tile_q=q)
+        tiled = hamming_cdist_packed(qp, bp, tile_q=tile_q)
+        assert tiled.dtype == np.int64
+        assert (tiled == full).all()
+
+    def test_out_buffer_reused(self):
+        a = pack_bits(random_binary_vectors(4, 70, 0))
+        b = pack_bits(random_binary_vectors(9, 70, 1))
+        out = np.empty((4, 9), dtype=np.int64)
+        got = hamming_cdist_packed(a, b, out=out)
+        assert got is out
+        assert (got == hamming_cdist_packed(a, b)).all()
+
+    def test_out_shape_and_dtype_validated(self):
+        a = pack_bits(random_binary_vectors(2, 8, 0))
+        b = pack_bits(random_binary_vectors(3, 8, 1))
+        with pytest.raises(ValueError, match="shape"):
+            hamming_cdist_packed(a, b, out=np.empty((3, 2), dtype=np.int64))
+        with pytest.raises(ValueError, match="int64"):
+            hamming_cdist_packed(a, b, out=np.empty((2, 3), dtype=np.int32))
+
+    def test_rejects_bad_tile(self):
+        a = pack_bits(random_binary_vectors(2, 8, 0))
+        with pytest.raises(ValueError, match="tile_q"):
+            hamming_cdist_packed(a, a, tile_q=0)
+
+    def test_default_tile_bounded_and_positive(self):
+        # tiny dataset: whole batch in one tile
+        assert default_cdist_tile(4, 1) >= 4
+        # paper-scale dataset: tile bounded well below the query count
+        tile = default_cdist_tile(2**20, 4)
+        assert 1 <= tile < 1024
+        # even absurd n never drops below one row
+        assert default_cdist_tile(2**40, 64) == 1
 
 
 class TestRandomVectors:

@@ -5,7 +5,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.util.topk import BoundedPriorityQueue, merge_topk, topk_from_distances
+from repro.util.topk import (
+    BoundedPriorityQueue,
+    merge_topk,
+    merge_topk_batch,
+    topk_from_distances,
+)
 
 
 def reference_topk(distances, k):
@@ -156,3 +161,67 @@ class TestMergeTopk:
         expected = sorted(flat, key=lambda t: (t[1], t[0]))[:k]
         assert got_idx.tolist() == [i for i, _ in expected]
         assert got_dist.tolist() == [d for _, d in expected]
+
+
+class TestMergeTopkBatch:
+    """The batched (q, m) merge ≡ per-query merge_topk, pads included."""
+
+    @given(
+        st.integers(1, 6),  # q
+        st.integers(1, 12),  # m (candidate columns)
+        st.integers(1, 15),  # k (can exceed m)
+        st.integers(0, 500),
+        st.floats(0.0, 0.9),  # pad density
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_equivalent_to_per_query_merge(self, q, m, k, seed, pad_frac):
+        rng = np.random.default_rng(seed)
+        idx = rng.integers(0, 200, (q, m)).astype(np.int64)
+        dist = rng.integers(0, 5, (q, m)).astype(np.int64)  # heavy ties
+        pads = rng.random((q, m)) < pad_frac
+        idx[pads] = -1
+        dist[pads] = -1
+        got_idx, got_dist = merge_topk_batch(idx, dist, k)
+        assert got_idx.shape == got_dist.shape == (q, k)
+        for qi in range(q):
+            valid = idx[qi] != -1
+            exp_i, exp_d = merge_topk([(idx[qi][valid], dist[qi][valid])], k)
+            found = exp_i.shape[0]
+            assert got_idx[qi, :found].tolist() == exp_i.tolist()
+            assert got_dist[qi, :found].tolist() == exp_d.tolist()
+            assert (got_idx[qi, found:] == -1).all()
+            assert (got_dist[qi, found:] == -1).all()
+
+    def test_duplicate_candidates_both_kept(self):
+        # merge_topk keeps duplicates too; the batch path must agree
+        idx = np.array([[4, 4, 1]])
+        dist = np.array([[2, 2, 3]])
+        got_idx, got_dist = merge_topk_batch(idx, dist, 2)
+        assert got_idx.tolist() == [[4, 4]]
+        assert got_dist.tolist() == [[2, 2]]
+
+    def test_all_pads_row(self):
+        idx = np.array([[-1, -1], [3, -1]])
+        dist = np.array([[-1, -1], [0, -1]])
+        got_idx, got_dist = merge_topk_batch(idx, dist, 2)
+        assert got_idx.tolist() == [[-1, -1], [3, -1]]
+        assert got_dist.tolist() == [[-1, -1], [0, -1]]
+
+    def test_custom_pad_values(self):
+        idx = np.array([[5]])
+        dist = np.array([[1]])
+        got_idx, got_dist = merge_topk_batch(
+            idx, dist, 3, pad_index=-1, pad_distance=-7
+        )
+        assert got_idx.tolist() == [[5, -1, -1]]
+        assert got_dist.tolist() == [[1, -7, -7]]
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="equal-shape"):
+            merge_topk_batch(np.zeros((2, 3)), np.zeros((2, 2)), 1)
+        with pytest.raises(ValueError, match="equal-shape"):
+            merge_topk_batch(np.zeros(3), np.zeros(3), 1)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError, match="k must be"):
+            merge_topk_batch(np.zeros((1, 2)), np.zeros((1, 2)), 0)
