@@ -32,9 +32,12 @@ from __future__ import annotations
 
 import hashlib
 import math
+import os
+import pickle
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Hashable
 
 import numpy as np
@@ -331,11 +334,18 @@ def partition_cache_key(
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction accounting for a :class:`BoardImageCache`."""
+    """Hit/miss/eviction accounting for a :class:`BoardImageCache`.
+
+    ``disk_hits`` counts the subset of ``hits`` served from the
+    on-disk store (``cache_dir=``) rather than memory — the warm-start
+    figure: a freshly restarted service whose every partition loads
+    from disk recompiles nothing.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    disk_hits: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -359,16 +369,33 @@ class BoardImageCache:
 
     Thread-safe: the engine's ``backend="thread"`` workers consult one
     shared instance concurrently, so every operation holds an internal
-    lock (entry construction happens outside the cache, so the lock is
-    only ever held for dict bookkeeping).
+    lock (entry construction and ``cache_dir`` disk I/O both happen
+    outside the lock, so it is only ever held for dict bookkeeping).
+
+    ``cache_dir`` marries the in-memory LRU with an on-disk artifact
+    store (the persistent sibling of :mod:`repro.core.images`' ANML
+    libraries): every :meth:`put` also pickles the artifact under a
+    key-derived file name, and a memory miss falls through to disk
+    before being declared a miss.  Memory eviction never deletes disk
+    entries, so the working set can exceed ``max_entries`` across
+    restarts — a restarted service pointed at the same directory
+    starts warm and recompiles nothing.  The directory is trusted
+    (artifacts are pickles); share it only between hosts you control.
     """
 
     DEFAULT_MAX_ENTRIES = 64
 
-    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        cache_dir: str | Path | None = None,
+    ):
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = int(max_entries)
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
         self._entries: OrderedDict[tuple, Any] = OrderedDict()
         self._lock = threading.RLock()
         self.stats = CacheStats()
@@ -378,31 +405,100 @@ class BoardImageCache:
             return len(self._entries)
 
     def __contains__(self, key: tuple) -> bool:
+        """Membership in the in-memory tier (disk is consulted by get)."""
         with self._lock:
             return key in self._entries
 
+    def _disk_path(self, key: tuple) -> Path:
+        # Key components (digest string, frozen dataclasses, enums) all
+        # repr deterministically, so the file name is stable across
+        # processes and restarts.
+        return self.cache_dir / (
+            hashlib.sha1(repr(key).encode()).hexdigest() + ".boardimage.pkl"
+        )
+
+    def _disk_load(self, key: tuple) -> Any | None:
+        path = self._disk_path(key)
+        try:
+            with open(path, "rb") as f:
+                return pickle.load(f)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            # Missing file or an artifact written by an incompatible
+            # library version: treat as a miss and recompile.
+            return None
+
+    def _disk_store(self, key: tuple, value: Any) -> None:
+        path = self._disk_path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
+        try:
+            with open(tmp, "wb") as f:
+                pickle.dump(value, f, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)  # atomic: readers never see half a file
+        except (OSError, pickle.PicklingError, TypeError, AttributeError,
+                RecursionError):
+            # Persistence is best-effort: neither a full disk nor an
+            # artifact pickle refuses to serialize (in-process backends
+            # never otherwise require picklability) may fail the search
+            # that produced it.  The memory tier keeps serving it.
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+
     def get(self, key: tuple) -> Any | None:
-        """Return the cached artifact or None; a hit refreshes recency."""
+        """Return the cached artifact or None; a hit refreshes recency.
+
+        Memory first, then (with ``cache_dir``) the on-disk store; a
+        disk hit is promoted into memory.  Disk I/O happens *outside*
+        the lock — the lock is only ever held for dict bookkeeping, so
+        thread workers never serialize on each other's pickle loads.
+        """
         with self._lock:
             try:
                 value = self._entries[key]
             except KeyError:
-                self.stats.misses += 1
-                return None
+                pass
+            else:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return value
+        if self.cache_dir is not None:
+            value = self._disk_load(key)
+            if value is not None:
+                # Two threads may race the same disk entry; both loads
+                # return equivalent artifacts and _insert is idempotent.
+                with self._lock:
+                    self._insert(key, value)
+                    self.stats.hits += 1
+                    self.stats.disk_hits += 1
+                return value
+        with self._lock:
+            self.stats.misses += 1
+        return None
+
+    def _insert(self, key: tuple, value: Any) -> None:
+        """Memory-tier insert + LRU eviction (callers hold the lock)."""
+        if key in self._entries:
             self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return value
+        self._entries[key] = value
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
 
     def put(self, key: tuple, value: Any) -> None:
-        """Insert (or refresh) an artifact, evicting the LRU entry if full."""
+        """Insert (or refresh) an artifact, evicting the LRU entry if full.
+
+        The disk write happens outside the lock (concurrent writers of
+        the same key both produce a complete file; the atomic rename
+        makes the last one win).
+        """
         with self._lock:
-            if key in self._entries:
-                self._entries.move_to_end(key)
-            self._entries[key] = value
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
+            self._insert(key, value)
+        if self.cache_dir is not None:
+            self._disk_store(key, value)
 
     def clear(self) -> None:
+        """Drop the in-memory tier (disk entries persist by design)."""
         with self._lock:
             self._entries.clear()

@@ -32,20 +32,35 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("-k", type=int, default=10, help="neighbors per query")
     s.add_argument("--device", choices=["gen1", "gen2"], default="gen1")
     s.add_argument("--board-capacity", type=int, default=None)
+    s.add_argument("--devices", type=int, default=1,
+                   help="fan the dataset out across this many AP boards "
+                        "(multi-board scale-out: balanced shards, one "
+                        "shared compile cache, exact host-side merge; "
+                        "1 = single board). Combine with --workers/"
+                        "--backend to pick the host-side pool, e.g. "
+                        "--devices 4 --workers 4 --backend thread")
     s.add_argument("--workers", type=int, default=1,
                    help="worker lanes for sharded partition execution "
                         "(1 = sequential)")
     s.add_argument("--backend", choices=["process", "thread"],
                    default="process",
                    help="worker pool flavor: processes (true multi-core "
-                        "for the cycle simulator) or threads (functional "
-                        "kernels release the GIL; shares the board-image "
-                        "cache with the parent)")
+                        "for the cycle simulator; cache-aware via "
+                        "artifact shipping) or threads (functional "
+                        "kernels release the GIL; share the board-image "
+                        "cache with the parent directly)")
     s.add_argument("--cache-size", type=int, default=0,
-                   help="LRU board-image cache capacity (0 = no cache); "
-                        "the cache is in-process: used by sequential runs "
-                        "and --backend thread workers, idle under "
-                        "--backend process")
+                   help="LRU board-image cache capacity (0 = no cache "
+                        "unless --cache-dir is set); sequential runs and "
+                        "thread workers use it in place, process workers "
+                        "through artifact shipping")
+    s.add_argument("--cache-dir", default=None,
+                   help="persist compiled board images in this directory "
+                        "(implies caching): a rerun or restarted service "
+                        "pointed at the same directory starts warm and "
+                        "recompiles nothing, e.g. "
+                        "`repro search d.npy q.npy --cache-dir ./imgcache` "
+                        "twice — the second run reports zero recompiles")
     s.add_argument("--execution", choices=["auto", "simulate", "functional"],
                    default="auto")
     s.add_argument("--out", default=None, help="save indices to this .npy")
@@ -69,36 +84,66 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_search(args) -> int:
+    from repro.ap.compiler import BoardImageCache
     from repro.ap.device import GEN1, GEN2
     from repro.core.engine import APSimilaritySearch
+    from repro.core.multiboard import MultiBoardSearch
     from repro.host.parallel import ParallelConfig
 
+    if args.devices < 1:
+        print(f"error: --devices must be >= 1, got {args.devices}",
+              file=sys.stderr)
+        return 2
     dataset = np.load(args.dataset)
     queries = np.load(args.queries)
+    if args.devices > dataset.shape[0]:
+        print(f"error: --devices ({args.devices}) exceeds the dataset's "
+              f"{dataset.shape[0]} vectors (every device needs a non-empty "
+              "shard)", file=sys.stderr)
+        return 2
     device = GEN1 if args.device == "gen1" else GEN2
-    engine = APSimilaritySearch(
-        dataset.astype(np.uint8),
+    if args.cache_dir:
+        # on-disk persistence implies caching even at --cache-size 0
+        size = (args.cache_size if args.cache_size > 0
+                else BoardImageCache.DEFAULT_MAX_ENTRIES)
+        cache = BoardImageCache(max_entries=size, cache_dir=args.cache_dir)
+    else:
+        cache = args.cache_size  # <= 0 disables caching
+    parallel = ParallelConfig(n_workers=args.workers, backend=args.backend)
+    common = dict(
         k=args.k,
         device=device,
         board_capacity=args.board_capacity,
         execution=args.execution,
-        parallel=ParallelConfig(n_workers=args.workers, backend=args.backend),
-        cache=args.cache_size,  # <= 0 disables caching
+        parallel=parallel,
+        cache=cache,
     )
-    result = engine.search(queries.astype(np.uint8))
-    print(f"# {queries.shape[0]} queries, k={result.k}, "
-          f"{result.n_partitions} partition(s), mode={result.execution}, "
-          f"workers={result.n_workers}")
+    if args.devices > 1:
+        engine = MultiBoardSearch(
+            dataset.astype(np.uint8), n_devices=args.devices, **common
+        )
+        result = engine.search(queries.astype(np.uint8))
+        print(f"# {queries.shape[0]} queries, k={engine.k}, "
+              f"{result.n_devices} device(s), "
+              f"{result.n_partition_passes} partition pass(es), "
+              f"mode={result.execution}, workers={result.n_workers}")
+    else:
+        engine = APSimilaritySearch(dataset.astype(np.uint8), **common)
+        result = engine.search(queries.astype(np.uint8))
+        print(f"# {queries.shape[0]} queries, k={result.k}, "
+              f"{result.n_partitions} partition(s), mode={result.execution}, "
+              f"workers={result.n_workers}")
     print(f"# board loads={result.counters.configurations} "
           f"symbols={result.counters.symbols_streamed} "
           f"reports={result.counters.reports_received}")
     if engine.cache is not None:
         st = engine.cache.stats
-        note = (" (idle: process workers rebuild their own artifacts)"
-                if result.n_workers > 1 and args.backend == "process" else "")
+        recompiles = result.counters.configurations - \
+            result.counters.image_cache_hits
         print(f"# image cache: {len(engine.cache)} entries, "
-              f"{st.hits} hits / {st.misses} misses, "
-              f"{st.evictions} evictions{note}")
+              f"{st.hits} hits ({st.disk_hits} from disk) / "
+              f"{st.misses} misses, {st.evictions} evictions, "
+              f"{recompiles} recompile(s) this run")
     est = engine.estimated_runtime_s(queries.shape[0])
     print(f"# estimated {args.device} device time: {est * 1e3:.3f} ms")
     for qi in range(min(queries.shape[0], 10)):

@@ -8,7 +8,7 @@ codec (Fig. 2c / Fig. 3), the exact functional model, and the top-level
 from .engine import APSimilaritySearch, KnnResult
 from .images import ImageManifest, export_image_library, load_image_library
 from .index_automata import IndexGatedSearch
-from .multiboard import MultiBoardResult, MultiBoardSearch
+from .multiboard import MultiBoardResult, MultiBoardSearch, balanced_shard_bounds
 from .range_search import HammingRangeSearch, RangeSearchResult
 from .functional import FunctionalKnnBoard
 from .jaccard import JaccardAPSearch, JaccardResult, JaccardThresholdFilter
@@ -36,6 +36,7 @@ __all__ = [
     "load_image_library",
     "MultiBoardResult",
     "MultiBoardSearch",
+    "balanced_shard_bounds",
     "IndexGatedSearch",
     "HammingRangeSearch",
     "RangeSearchResult",

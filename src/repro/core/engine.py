@@ -51,7 +51,7 @@ from ..ap.device import APDeviceSpec, GEN1
 from ..ap.runtime import APRuntime, REPORT_RECORD_BITS, RuntimeCounters
 from ..host.parallel import ParallelConfig, PartitionTask, run_partitions
 from ..perf.models import APModel
-from ..util.topk import merge_topk_batch
+from ..util.topk import merge_topk_blocks
 from .functional import FunctionalKnnBoard
 from .macros import MacroConfig, build_knn_network, collector_tree_depth
 from .stream import StreamLayout, decode_report_offsets, encode_query_batch
@@ -60,6 +60,7 @@ __all__ = [
     "KnnResult",
     "APSimilaritySearch",
     "build_functional_board",
+    "decode_partition_topk",
     "run_partition_functional",
     "run_partition_functional_topk",
     "run_partition_simulated",
@@ -188,6 +189,60 @@ def run_partition_functional_topk(
     return q_idx, codes, cycles2d.ravel(), counters
 
 
+def decode_partition_topk(
+    q_idx: np.ndarray,
+    codes: np.ndarray,
+    cycles: np.ndarray,
+    n_q: int,
+    k: int,
+    layout: StreamLayout,
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Keep the earliest ``k`` reports per query: they ARE the top-k.
+
+    Reports arrive ordered by activation time; the temporal sort means
+    earlier activation = smaller distance, and simultaneous activations
+    are consumed in state-ID (= dataset index) order, matching the
+    library-wide tie-break.  One decode serves every consumer — the
+    engine's sequential loop, the parallel partition path, and the
+    multi-board layer — so the candidate blocks they merge are
+    bit-identical by construction.
+
+    Fully vectorized: one lexsort over the report batch, a cumsum-based
+    gather of each query's first ``k`` rows, and one
+    :func:`~repro.core.stream.decode_report_offsets` call — no
+    per-report (or per-query) Python.  Returns ``(indices, distances)``
+    as ``(n_q, k)`` int64 arrays padded with
+    ``PAD_INDEX``/``PAD_DISTANCE`` where a query produced fewer than
+    ``k`` reports, or ``None`` for an empty batch.
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    if codes.shape[0] == 0:
+        return None
+    q_idx = np.asarray(q_idx, dtype=np.int64)
+    cycles = np.asarray(cycles, dtype=np.int64)
+    order = np.lexsort((codes, cycles, q_idx))
+    q_sorted = q_idx[order]
+    starts = np.searchsorted(q_sorted, np.arange(n_q), side="left")
+    ends = np.searchsorted(q_sorted, np.arange(n_q), side="right")
+    take = np.minimum(ends - starts, k)
+    total = int(take.sum())
+    if total == 0:
+        return None
+    # Flat positions of each query's first `take[qi]` sorted rows:
+    # a per-query arange built from one cumsum, no Python loop.
+    col = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(take) - take, take
+    )
+    sel = order[np.repeat(starts, take) + col]
+    rows = np.repeat(np.arange(n_q, dtype=np.int64), take)
+    _, _, dists = decode_report_offsets(cycles[sel], layout)
+    idx_block = np.full((n_q, k), PAD_INDEX, dtype=np.int64)
+    dist_block = np.full((n_q, k), PAD_DISTANCE, dtype=np.int64)
+    idx_block[rows, col] = codes[sel]
+    dist_block[rows, col] = dists
+    return idx_block, dist_block
+
+
 @dataclass
 class KnnResult:
     """kNN answers plus the accounting a hardware run would produce.
@@ -255,8 +310,12 @@ class APSimilaritySearch:
         whose shards overlap on identical partition content hit each
         other's entries.  The cache lives in this process: sequential
         execution and ``backend="thread"`` workers (which share the
-        parent's memory) consult and fill it; with process workers
-        each worker rebuilds its own artifacts.
+        parent's memory) consult and fill it directly, while
+        ``backend="process"`` workers stay cache-aware through
+        artifact shipping (cached boards travel out with their tasks,
+        fresh builds travel back and are installed here).  Construct
+        the cache with ``BoardImageCache(cache_dir=...)`` to persist
+        artifacts on disk so a restarted service starts warm.
     """
 
     def __init__(
@@ -417,12 +476,8 @@ class APSimilaritySearch:
         # dataset vectors); short rows come back padded instead of
         # crashing on a broadcast.
         if partials:
-            indices, distances = merge_topk_batch(
-                np.concatenate([b[0] for b in partials], axis=1),
-                np.concatenate([b[1] for b in partials], axis=1),
-                self.k,
-                pad_index=PAD_INDEX,
-                pad_distance=PAD_DISTANCE,
+            indices, distances = merge_topk_blocks(
+                partials, self.k, pad_index=PAD_INDEX, pad_distance=PAD_DISTANCE
             )
         else:
             indices = np.full((n_q, self.k), PAD_INDEX, dtype=np.int64)
@@ -439,18 +494,21 @@ class APSimilaritySearch:
 
     # -- back-ends --------------------------------------------------------
 
-    def _partition_tasks(self, mode: str) -> list[PartitionTask]:
+    def _partition_tasks(self, mode: str, p_base: int = 0) -> list[PartitionTask]:
         """Self-contained, picklable work units for the parallel layer.
 
         ``k`` lets functional workers ship back only the top-k report
-        rows per query; ``cache_key`` lets in-process workers (thread
-        backend or serial fallback) share this engine's board-image
-        cache — process workers ignore it and rebuild.
+        rows per query; ``cache_key`` lets workers use this engine's
+        board-image cache — shared directly in process (thread backend
+        or serial fallback), via artifact shipping for process workers.
+        ``p_base`` offsets the partition indices so a caller fanning
+        out *several* engines' partitions in one pool run (the
+        multi-board layer) keeps them globally ordered.
         """
         flavor = "image" if mode == "simulate" else "functional"
         return [
             PartitionTask(
-                p_idx=p_idx,
+                p_idx=p_base + p_idx,
                 start=start,
                 end=end,
                 dataset_bits=self.dataset[start:end],
@@ -517,47 +575,10 @@ class APSimilaritySearch:
     # -- decoding ----------------------------------------------------------
 
     def _decode_partition(self, q_idx, codes, cycles, n_q):
-        """Keep the earliest k reports per query: they ARE the top-k.
-
-        Reports arrive ordered by activation time; the temporal sort
-        means earlier activation = smaller distance, and simultaneous
-        activations are consumed in state-ID (= dataset index) order,
-        matching the library-wide tie-break.
-
-        Fully vectorized: one lexsort over the report batch, a
-        cumsum-based gather of each query's first ``k`` rows, and one
-        :func:`~repro.core.stream.decode_report_offsets` call — no
-        per-report (or per-query) Python.  Returns ``(indices,
-        distances)`` as ``(n_q, k)`` int64 arrays padded with
-        ``PAD_INDEX``/``PAD_DISTANCE`` where a query produced fewer
-        than ``k`` reports, or ``None`` for an empty batch.
-        """
-        codes = np.asarray(codes, dtype=np.int64)
-        if codes.shape[0] == 0:
-            return None
-        q_idx = np.asarray(q_idx, dtype=np.int64)
-        cycles = np.asarray(cycles, dtype=np.int64)
-        order = np.lexsort((codes, cycles, q_idx))
-        q_sorted = q_idx[order]
-        starts = np.searchsorted(q_sorted, np.arange(n_q), side="left")
-        ends = np.searchsorted(q_sorted, np.arange(n_q), side="right")
-        take = np.minimum(ends - starts, self.k)
-        total = int(take.sum())
-        if total == 0:
-            return None
-        # Flat positions of each query's first `take[qi]` sorted rows:
-        # a per-query arange built from one cumsum, no Python loop.
-        col = np.arange(total, dtype=np.int64) - np.repeat(
-            np.cumsum(take) - take, take
+        """This engine's view of :func:`decode_partition_topk`."""
+        return decode_partition_topk(
+            q_idx, codes, cycles, n_q, self.k, self.layout
         )
-        sel = order[np.repeat(starts, take) + col]
-        rows = np.repeat(np.arange(n_q, dtype=np.int64), take)
-        _, _, dists = decode_report_offsets(cycles[sel], self.layout)
-        idx_block = np.full((n_q, self.k), PAD_INDEX, dtype=np.int64)
-        dist_block = np.full((n_q, self.k), PAD_DISTANCE, dtype=np.int64)
-        idx_block[rows, col] = codes[sel]
-        dist_block[rows, col] = dists
-        return idx_block, dist_block
 
     # -- performance hooks ---------------------------------------------------
 

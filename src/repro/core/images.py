@@ -17,6 +17,13 @@ Layout of an image directory::
 ``load_image_library`` verifies structural integrity (per-partition
 macro counts and report-code ranges) and can cross-check a partition's
 ANML against the dataset by probe simulation.
+
+The loader composes with the service-side levers: ``parallel=`` and
+``cache=`` forward to the engine, and ``cache_dir=`` attaches a
+persistent :class:`~repro.ap.compiler.BoardImageCache` so the compiled
+(in-memory) artifacts the engine builds over this library survive
+restarts next to the ANML files themselves — a service that exports a
+library once and restarts warm-starts with zero recompiles.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ import numpy as np
 
 from ..automata.anml import parse_anml, to_anml
 from ..automata.network import AutomataNetwork
+from ..ap.compiler import BoardImageCache
 from .engine import APSimilaritySearch
 from .macros import MacroConfig, build_knn_network, collector_tree_depth
 from .stream import StreamLayout
@@ -125,13 +133,28 @@ def load_image_library(
     k: int,
     execution: str = "auto",
     verify: bool = False,
+    parallel=None,
+    cache=None,
+    cache_dir: str | Path | None = None,
 ) -> tuple[APSimilaritySearch, ImageManifest]:
     """Load a library into a ready engine (no recompilation).
 
     With ``verify=True`` every partition's ANML is parsed and its
     structure checked against the manifest (macro count, report-code
     range); this is the slow integrity path for untrusted media.
+
+    ``parallel`` and ``cache`` forward to
+    :class:`~repro.core.engine.APSimilaritySearch`.  ``cache_dir``
+    (mutually exclusive with ``cache``) attaches a persistent
+    :class:`~repro.ap.compiler.BoardImageCache` rooted there, so the
+    compiled artifacts built over this library survive restarts —
+    pass the library directory itself to keep a library and its
+    compiled cache in one deployable bundle.
     """
+    if cache is not None and cache_dir is not None:
+        raise ValueError("pass cache= or cache_dir=, not both")
+    if cache_dir is not None:
+        cache = BoardImageCache(cache_dir=cache_dir)
     directory = Path(directory)
     manifest = ImageManifest.from_json((directory / _MANIFEST).read_text())
     dataset = np.load(directory / _DATASET)
@@ -150,6 +173,8 @@ def load_image_library(
         board_capacity=manifest.board_capacity,
         macro_config=MacroConfig(max_fan_in=manifest.max_fan_in),
         execution=execution,
+        parallel=parallel,
+        cache=cache,
     )
     return engine, manifest
 

@@ -8,17 +8,40 @@ the same query batch to all of them concurrently, and merge the
 per-device top-k on the host (the same merge the single-board engine
 already does across partitions, so exactness is preserved).
 
-:class:`MultiBoardSearch` models that: per-device
-:class:`~repro.core.engine.APSimilaritySearch` engines over disjoint
-shards, combined result decoding, and a run-time model where the
-device-side time divides by D (devices run concurrently) while the
-per-device reconfiguration count falls as the shard shrinks:
+:class:`MultiBoardSearch` models that as a real host would run it:
+
+* **Sharding** — balanced contiguous shards (sizes differ by at most
+  one vector), one :class:`~repro.core.engine.APSimilaritySearch`
+  engine per device for partitioning, cache keys, and the run-time
+  model.
+* **Fan-out** — every device's board-partition passes are flattened
+  into one task list and driven through
+  :func:`repro.host.parallel.run_partitions`: ``parallel=`` picks a
+  thread/process/serial worker pool (persistent pools included), and
+  partition-level granularity means a straggler device's last board
+  never idles the other workers.
+* **Shared compile cache** — one
+  :class:`~repro.ap.compiler.BoardImageCache` (``cache=``) serves all
+  device engines, thread workers directly and process workers via
+  artifact shipping; construct it with ``cache_dir=`` to warm-start a
+  restarted service from disk.
+* **Batched merge** — per-partition candidate blocks are decoded by
+  the engine's shared vectorized decoder and merged in ONE offset-aware
+  :func:`~repro.util.topk.merge_topk_blocks` pass: shard-local indices
+  re-base to global IDs during the merge while pad rows stay pads, and
+  no per-query Python runs anywhere between worker reports and the
+  final result.  Results are bit-identical to driving each device
+  sequentially.
+
+The run-time model is unchanged: the device-side time divides by D
+(devices run concurrently) while the per-device reconfiguration count
+falls as the shard shrinks:
 
 ``T(D) = ceil(partitions / D) x (t_reconfig + q·d·t_cycle)``
 
 Scaling is near-linear until a shard fits in one configuration, after
-which more devices only buy idle silicon — the crossover the scaling
-benchmark sweeps.
+which more devices only buy idle silicon — the crossover
+``benchmarks/bench_multiboard_scaling.py`` sweeps.
 """
 
 from __future__ import annotations
@@ -27,13 +50,41 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..ap.compiler import BoardImageCache
 from ..ap.device import APDeviceSpec, GEN1
 from ..ap.runtime import RuntimeCounters
-from ..util.topk import merge_topk
-from .engine import PAD_DISTANCE, PAD_INDEX, APSimilaritySearch, KnnResult
+from ..host.parallel import ParallelConfig, PartitionTask, run_partitions
+from ..util.topk import merge_topk_blocks
+from .engine import (
+    PAD_DISTANCE,
+    PAD_INDEX,
+    APSimilaritySearch,
+    decode_partition_topk,
+)
 from .macros import MacroConfig
 
-__all__ = ["MultiBoardResult", "MultiBoardSearch"]
+__all__ = ["MultiBoardResult", "MultiBoardSearch", "balanced_shard_bounds"]
+
+
+def balanced_shard_bounds(n: int, n_devices: int) -> np.ndarray:
+    """Shard boundaries ``[0, ..., n]`` with sizes differing by at most 1.
+
+    The first ``n % n_devices`` shards absorb the remainder one vector
+    each (the ``np.array_split`` convention) — unlike truncating
+    ``np.linspace`` bounds, which could dump the whole remainder on the
+    last shard.  Every shard is non-empty for any ``1 <= n_devices <=
+    n``, which the engine constructor requires.
+    """
+    if not 1 <= n_devices <= n:
+        raise ValueError(
+            f"need 1 <= n_devices <= n, got n_devices={n_devices}, n={n}"
+        )
+    base, rem = divmod(n, n_devices)
+    sizes = np.full(n_devices, base, dtype=np.int64)
+    sizes[:rem] += 1
+    bounds = np.zeros(n_devices + 1, dtype=np.int64)
+    np.cumsum(sizes, out=bounds[1:])
+    return bounds
 
 
 @dataclass
@@ -42,14 +93,41 @@ class MultiBoardResult:
     distances: np.ndarray
     per_device_partitions: list[int]
     counters: RuntimeCounters  # aggregate over all devices
+    # Resolved execution mode(s): "simulate"/"functional", or "mixed"
+    # when execution="auto" picked differently across shards.
+    execution: str = "functional"
+    n_workers: int = 1  # host worker lanes that actually ran
 
     @property
     def n_devices(self) -> int:
         return len(self.per_device_partitions)
 
+    @property
+    def n_partition_passes(self) -> int:
+        return sum(self.per_device_partitions)
+
 
 class MultiBoardSearch:
-    """Shard a dataset across ``n_devices`` APs; exact merged kNN."""
+    """Shard a dataset across ``n_devices`` APs; exact merged kNN.
+
+    Parameters mirror :class:`~repro.core.engine.APSimilaritySearch`
+    where they overlap; the two scale-out levers are:
+
+    parallel:
+        ``None``/``1`` for serial device execution, an ``int`` worker
+        count, or a :class:`~repro.host.parallel.ParallelConfig`
+        (thread/process backends, ``persistent=True`` pools).  Workers
+        execute board-partition passes, the unit the devices
+        themselves work in, so load stays balanced even when shards
+        split into unequal partition counts.
+    cache:
+        As in the engine: ``True``/``int``/instance for a compiled
+        board-image cache **shared by every device engine** — shards
+        with identical partition content compile once, repeated
+        searches recompile nothing.  Pass a
+        :class:`~repro.ap.compiler.BoardImageCache` built with
+        ``cache_dir=`` to persist compiled artifacts across restarts.
+    """
 
     def __init__(
         self,
@@ -60,6 +138,8 @@ class MultiBoardSearch:
         board_capacity: int | None = None,
         macro_config: MacroConfig = MacroConfig(),
         execution: str = "functional",
+        parallel: ParallelConfig | int | None = None,
+        cache: BoardImageCache | int | bool | None = None,
     ):
         dataset_bits = np.asarray(dataset_bits, dtype=np.uint8)
         if dataset_bits.ndim != 2 or dataset_bits.shape[0] == 0:
@@ -72,57 +152,91 @@ class MultiBoardSearch:
         self.k = min(int(k), self.n)
         self.n_devices = int(n_devices)
         self.device = device
+        self.parallel = APSimilaritySearch._normalize_parallel(parallel)
+        self.cache = APSimilaritySearch._normalize_cache(cache)
 
-        # contiguous shards; engines keep global IDs via index offsets
-        bounds = np.linspace(0, self.n, self.n_devices + 1, dtype=np.int64)
+        # balanced contiguous shards; engines keep shard-local IDs and
+        # the offset-aware merge re-bases them to global IDs
+        bounds = balanced_shard_bounds(self.n, self.n_devices)
         self._shard_offsets = bounds[:-1]
         self._engines: list[APSimilaritySearch] = []
         for di in range(self.n_devices):
             shard = dataset_bits[bounds[di] : bounds[di + 1]]
-            self._engines.append(
-                APSimilaritySearch(
-                    shard,
-                    k=self.k,
-                    device=device,
-                    board_capacity=board_capacity,
-                    macro_config=macro_config,
-                    execution=execution,
-                )
+            engine = APSimilaritySearch(
+                shard,
+                k=self.k,
+                device=device,
+                board_capacity=board_capacity,
+                macro_config=macro_config,
+                execution=execution,
+                cache=self.cache,  # one compile cache for all devices
             )
+            if board_capacity is None:
+                # the compiler's capacity probe depends only on
+                # (d, macro_config, device) — run it once, not per device
+                board_capacity = engine.board_capacity
+            self._engines.append(engine)
 
     def search(self, queries_bits: np.ndarray) -> MultiBoardResult:
         queries_bits = np.asarray(queries_bits, dtype=np.uint8)
         if queries_bits.ndim == 1:
             queries_bits = queries_bits[None, :]
+        if queries_bits.shape[1] != self.d:
+            raise ValueError(
+                f"queries have d={queries_bits.shape[1]}, dataset d={self.d}"
+            )
         n_q = queries_bits.shape[0]
-        results: list[KnnResult] = [e.search(queries_bits) for e in self._engines]
+
+        # Flatten every device's partition passes into one task list —
+        # the host-side unit of concurrency.  Tasks carry shard-LOCAL
+        # index bases (each engine re-bases report codes within its
+        # shard), so cached artifacts stay content-addressed and the
+        # shard offset is applied only at the final merge.
+        tasks: list[PartitionTask] = []
+        task_offsets: list[int] = []
+        modes = set()
+        for eng, off in zip(self._engines, self._shard_offsets):
+            mode = eng._choose_execution(n_q)
+            modes.add(mode)
+            engine_tasks = eng._partition_tasks(mode, p_base=len(tasks))
+            tasks.extend(engine_tasks)
+            task_offsets.extend([int(off)] * len(engine_tasks))
+
+        run = run_partitions(tasks, queries_bits, self.parallel, cache=self.cache)
 
         counters = RuntimeCounters()
-        for r in results:
-            counters.merge(r.counters)
+        blocks: list[tuple[np.ndarray, np.ndarray]] = []
+        offsets: list[int] = []
+        layout = self._engines[0].layout
+        for res, off in zip(run.results, task_offsets):  # partition order
+            counters.merge(res.counters)
+            block = decode_partition_topk(
+                res.q_idx, res.codes, res.cycles, n_q, self.k, layout
+            )
+            if block is not None:
+                blocks.append(block)
+                offsets.append(off)
 
-        # Shard engines pad short rows with (PAD_INDEX, PAD_DISTANCE);
-        # a pad must not enter the cross-shard merge, where the offset
-        # would turn it into a bogus valid global index with a distance
-        # that outranks every real candidate.
-        indices = np.full((n_q, self.k), PAD_INDEX, dtype=np.int64)
-        distances = np.full((n_q, self.k), PAD_DISTANCE, dtype=np.int64)
-        for qi in range(n_q):
-            partials = []
-            for r, off in zip(results, self._shard_offsets):
-                valid = r.indices[qi] != PAD_INDEX
-                partials.append(
-                    (r.indices[qi][valid] + off, r.distances[qi][valid])
-                )
-            idx, dist = merge_topk(partials, self.k)
-            found = min(idx.shape[0], self.k)
-            indices[qi, :found] = idx[:found]
-            distances[qi, :found] = dist[:found].astype(np.int64)
+        # One offset-aware batched merge across every (device,
+        # partition) candidate block: shard-local indices re-base to
+        # global IDs while pad rows (short shards, k > shard size)
+        # stay pads — a pad must never turn into the bogus valid
+        # global index `offset - 1` outranking every real candidate.
+        if blocks:
+            indices, distances = merge_topk_blocks(
+                blocks, self.k, offsets=offsets,
+                pad_index=PAD_INDEX, pad_distance=PAD_DISTANCE,
+            )
+        else:
+            indices = np.full((n_q, self.k), PAD_INDEX, dtype=np.int64)
+            distances = np.full((n_q, self.k), PAD_DISTANCE, dtype=np.int64)
         return MultiBoardResult(
             indices=indices,
             distances=distances,
-            per_device_partitions=[r.n_partitions for r in results],
+            per_device_partitions=[len(e.partitions) for e in self._engines],
             counters=counters,
+            execution=modes.pop() if len(modes) == 1 else "mixed",
+            n_workers=run.n_workers,
         )
 
     def estimated_runtime_s(self, n_queries: int) -> float:
@@ -133,8 +247,13 @@ class MultiBoardSearch:
 
     def scaling_efficiency(self, n_queries: int,
                            single_device_runtime_s: float) -> float:
-        """Speedup over one device divided by the device count."""
+        """Speedup over one device divided by the device count.
+
+        A degenerate spec whose modeled runtime is zero or negative has
+        no meaningful efficiency; returning ``1.0`` there (as this once
+        did) silently reported perfect scaling, so it is ``nan`` now.
+        """
         t = self.estimated_runtime_s(n_queries)
         if t <= 0:
-            return 1.0
+            return float("nan")
         return (single_device_runtime_s / t) / self.n_devices

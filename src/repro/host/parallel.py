@@ -17,10 +17,13 @@ Backends
 --------
 
 * ``backend="process"`` — a :class:`~concurrent.futures.
-  ProcessPoolExecutor`.  True multi-core for the cycle simulator;
-  workers rebuild partition artifacts from the shipped dataset slice
-  (the parent's :class:`~repro.ap.compiler.BoardImageCache` is
-  per-process).
+  ProcessPoolExecutor`.  True multi-core for the cycle simulator.
+  The parent's :class:`~repro.ap.compiler.BoardImageCache` is
+  per-process, but process workers are still *cache-aware*: a task
+  whose partition is already cached ships the compiled artifact out
+  with the task (workers skip the rebuild), and a worker that had to
+  build ships the artifact back with its result so the parent cache
+  warms up — ``backend="process"`` and ``cache=`` compose.
 * ``backend="thread"`` — a :class:`~concurrent.futures.
   ThreadPoolExecutor`.  The functional back-end spends its time inside
   NumPy kernels that release the GIL, so threads overlap almost as
@@ -40,15 +43,21 @@ down afterwards — leak-proof for one-shot batches.  A long-lived
 service issuing many small searches should set ``persistent=True``:
 the :class:`ParallelConfig` then owns a lazily-spawned reusable pool,
 usable as a context manager (or via explicit :meth:`~ParallelConfig.
-close`), so repeated searches skip worker spawn cost entirely.
+close`), so repeated searches skip worker spawn cost entirely.  A
+persistent pool whose config is dropped without :meth:`~ParallelConfig.
+close` is reclaimed by a :func:`weakref.finalize` guard (which also
+fires at interpreter exit), so forgotten configs cannot leak worker
+threads/processes or hang shutdown.
 """
 
 from __future__ import annotations
 
 import threading
+import weakref
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Any
 
 import numpy as np
 
@@ -66,6 +75,12 @@ __all__ = [
 _POOL_ERRORS = (OSError, PermissionError, ImportError)
 
 
+def _shutdown_executor(pool: Executor) -> None:
+    """Finalizer target: must not reference the owning config (a bound
+    method would keep it alive and the finalizer would never fire)."""
+    pool.shutdown(wait=True, cancel_futures=True)
+
+
 @dataclass(frozen=True)
 class ParallelConfig:
     """How the engine fans partitions out across workers.
@@ -79,8 +94,12 @@ class ParallelConfig:
     ``persistent=True`` makes this config own a reusable worker pool:
     spawned lazily on the first :func:`run_partitions` call, reused by
     every later call, released by :meth:`close` (or by using the
-    config as a context manager).  The pool handle never participates
-    in equality/hashing, so configs compare by their settings alone.
+    config as a context manager).  A ``weakref.finalize`` guard shuts
+    the pool down if the config is garbage-collected — or the
+    interpreter exits — without ``close()``, so a dropped config never
+    leaks workers or hangs shutdown.  The pool handle never
+    participates in equality/hashing, so configs compare by their
+    settings alone.
     """
 
     n_workers: int = 1
@@ -88,6 +107,9 @@ class ParallelConfig:
     fallback_serial: bool = True
     persistent: bool = False
     _pool: Executor | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _pool_finalizer: Any = field(
         default=None, init=False, repr=False, compare=False
     )
     # Guards the persistent pool's lazy spawn/teardown: a long-lived
@@ -129,24 +151,39 @@ class ParallelConfig:
             return self._spawn_pool(n_workers), True
         with self._pool_lock:
             if self._pool is None:
+                pool = self._spawn_pool(max(self.n_workers, n_workers))
+                object.__setattr__(self, "_pool", pool)
+                # Leak guard: if this config is dropped (or the
+                # interpreter exits) before close(), the finalizer
+                # shuts the pool down.  It must not hold a reference
+                # to `self`, or the config could never be collected.
                 object.__setattr__(
-                    self, "_pool", self._spawn_pool(max(self.n_workers, n_workers))
+                    self,
+                    "_pool_finalizer",
+                    weakref.finalize(self, _shutdown_executor, pool),
                 )
             return self._pool, False
 
-    def _discard_pool(self) -> None:
-        """Drop a broken persistent pool so the next call respawns."""
+    def _release_pool(self) -> Executor | None:
+        """Detach the finalizer and hand the pool back for shutdown."""
         with self._pool_lock:
             pool = self._pool
+            finalizer = self._pool_finalizer
             object.__setattr__(self, "_pool", None)
+            object.__setattr__(self, "_pool_finalizer", None)
+        if finalizer is not None:
+            finalizer.detach()
+        return pool
+
+    def _discard_pool(self) -> None:
+        """Drop a broken persistent pool so the next call respawns."""
+        pool = self._release_pool()
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)
 
     def close(self) -> None:
         """Shut down the persistent pool (no-op if never spawned)."""
-        with self._pool_lock:
-            pool = self._pool
-            object.__setattr__(self, "_pool", None)
+        pool = self._release_pool()
         if pool is not None:
             pool.shutdown(wait=True)
 
@@ -167,7 +204,10 @@ class PartitionTask:
     for the full stream the modeled board would emit.  ``cache_key``
     is the engine's content-addressed board-image key: in-process
     workers (thread backend / serial fallback) use it to share the
-    parent's cache, process workers ignore it.
+    parent's cache directly; for process workers
+    :func:`run_partitions` resolves it against the parent cache up
+    front and ships the compiled artifact along in ``artifact`` so a
+    warm cache skips worker-side rebuilds too.
     """
 
     p_idx: int
@@ -182,17 +222,49 @@ class PartitionTask:
     device: APDeviceSpec = GEN1
     k: int | None = None
     cache_key: tuple | None = None
+    # Prebuilt board artifact shipped *to* a process worker from a warm
+    # parent cache (None = build from dataset_bits on a miss).
+    artifact: Any = None
+
+
+class _ArtifactShuttle:
+    """Minimal cache façade for one process-worker partition.
+
+    Serves the artifact the parent shipped with the task (a warm-cache
+    hit crosses the process boundary as data, not shared memory) and
+    captures a freshly built artifact so the worker can ship it back —
+    the parent then :meth:`~repro.ap.compiler.BoardImageCache.put`\\ s
+    it, warming the cache for the next call.
+    """
+
+    def __init__(self, artifact: Any = None):
+        self.artifact = artifact
+        self.built: Any = None
+
+    def get(self, key: tuple) -> Any:
+        return self.artifact
+
+    def put(self, key: tuple, value: Any) -> None:
+        self.built = value
 
 
 @dataclass
 class PartitionResult:
-    """Report batch + counter delta for one executed partition."""
+    """Report batch + counter delta for one executed partition.
+
+    ``artifact``/``cache_key`` carry a board artifact a *process*
+    worker had to build back to the parent, which installs it in its
+    :class:`~repro.ap.compiler.BoardImageCache`; in-process workers
+    write the shared cache directly and leave both ``None``.
+    """
 
     p_idx: int
     q_idx: np.ndarray
     codes: np.ndarray
     cycles: np.ndarray
     counters: RuntimeCounters
+    artifact: Any = None
+    cache_key: tuple | None = None
 
 
 def execute_partition(
@@ -205,9 +277,13 @@ def execute_partition(
     bit-identical by construction.  ``cache`` is a
     :class:`~repro.ap.compiler.BoardImageCache` shared by in-process
     callers (thread workers, serial fallback); it is consulted/filled
-    only when the task carries a ``cache_key``.  Imports are deferred
-    so this module can be imported by :mod:`repro.core.engine` without
-    a circular dependency, and so forked workers resolve them lazily.
+    only when the task carries a ``cache_key``.  A process worker has
+    no shared cache, but a task carrying a ``cache_key`` still gets an
+    :class:`_ArtifactShuttle`: it serves the artifact shipped with the
+    task (parent-cache hit) and captures a fresh build for the return
+    trip.  Imports are deferred so this module can be imported by
+    :mod:`repro.core.engine` without a circular dependency, and so
+    forked workers resolve them lazily.
     """
     from ..core.engine import (
         build_functional_board,
@@ -219,7 +295,11 @@ def execute_partition(
     from ..core.stream import StreamLayout
 
     layout = StreamLayout(task.d, task.collector_depth)
-    key = task.cache_key if cache is not None else None
+    key = task.cache_key
+    shuttle = None
+    if key is not None and cache is None:
+        shuttle = _ArtifactShuttle(task.artifact)
+        cache = shuttle
     if task.mode == "simulate":
         q_idx, codes, cycles, counters = run_partition_simulated(
             task.dataset_bits,
@@ -254,8 +334,15 @@ def execute_partition(
             counters.image_cache_hits += 1
     else:
         raise ValueError(f"unknown execution mode {task.mode!r}")
+    built = shuttle.built if shuttle is not None else None
     return PartitionResult(
-        p_idx=task.p_idx, q_idx=q_idx, codes=codes, cycles=cycles, counters=counters
+        p_idx=task.p_idx,
+        q_idx=q_idx,
+        codes=codes,
+        cycles=cycles,
+        counters=counters,
+        artifact=built,
+        cache_key=key if built is not None else None,
     )
 
 
@@ -271,6 +358,22 @@ class PartitionRunReport:
 
     results: list[PartitionResult]
     n_workers: int
+
+
+def _attach_cached_artifact(task: PartitionTask, cache) -> PartitionTask:
+    """Ship a cached board to a process worker instead of raw data.
+
+    On a hit the artifact fully supersedes the dataset slice (workers
+    only touch ``dataset_bits`` to *build*), so the slice is replaced
+    by an empty stub — pickling both would double the IPC payload the
+    artifact shipping exists to avoid.
+    """
+    if task.cache_key is None:
+        return task
+    artifact = cache.get(task.cache_key)
+    if artifact is None:
+        return task
+    return replace(task, artifact=artifact, dataset_bits=task.dataset_bits[:0])
 
 
 def _run_serial(
@@ -293,9 +396,14 @@ def run_partitions(
     The report's results are **sorted by partition index** regardless
     of worker completion order, so downstream decode/merge and counter
     aggregation are deterministic and bit-identical to the sequential
-    path.  ``cache`` (a board-image cache) is forwarded to workers
-    only when they share the parent's memory — thread backend, serial
-    execution, or serial fallback; process workers always rebuild.
+    path.  ``cache`` (a board-image cache) is shared with workers that
+    run in the parent's memory — thread backend, serial execution, or
+    serial fallback.  Process workers cannot share it, but stay
+    cache-aware through artifact shipping: cached boards travel out
+    with their tasks, and boards a worker had to build travel back
+    with its result and are installed here, so a second call (or a
+    second process-backed engine sharing the cache) recompiles
+    nothing.
     """
     queries_bits = np.ascontiguousarray(queries_bits, dtype=np.uint8)
     # Thread workers share the parent's memory, so they may use the
@@ -311,16 +419,24 @@ def run_partitions(
         if config.fallback_serial:
             return _run_serial(tasks, queries_bits, cache)
         raise
+    worker_tasks = tasks
+    if cache is not None and worker_cache is None:
+        # Process backend with a cache-aware parent: attach each
+        # cached artifact to its task so warm workers skip the build.
+        worker_tasks = [_attach_cached_artifact(t, cache) for t in tasks]
     try:
         futures = [
             executor.submit(execute_partition, t, queries_bits, worker_cache)
-            for t in tasks
+            for t in worker_tasks
         ]
         results = [f.result() for f in futures]
     except (*_POOL_ERRORS, BrokenProcessPool) as exc:
         # Pool creation can succeed but worker spawn still fail (e.g.
         # blocked semaphores); degrade the same way.  A broken
         # persistent pool is discarded so the next call respawns.
+        # Fall back with the ORIGINAL tasks: artifact-attached ones
+        # carry stubbed dataset slices, and the in-process path must
+        # be able to rebuild any partition the cache has since evicted.
         if not owned:
             config._discard_pool()
         if config.fallback_serial:
@@ -329,6 +445,12 @@ def run_partitions(
     finally:
         if owned:
             executor.shutdown(wait=True)
+    if cache is not None and worker_cache is None:
+        # Install boards the workers had to build: the parent cache
+        # warms up even though the build happened out of process.
+        for res in results:
+            if res.artifact is not None and res.cache_key is not None:
+                cache.put(res.cache_key, res.artifact)
     return PartitionRunReport(
         results=sorted(results, key=lambda r: r.p_idx),
         n_workers=n_workers,

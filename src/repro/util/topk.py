@@ -19,6 +19,7 @@ __all__ = [
     "BoundedPriorityQueue",
     "merge_topk",
     "merge_topk_batch",
+    "merge_topk_blocks",
 ]
 
 
@@ -169,3 +170,53 @@ def merge_topk_batch(
     out_idx[found] = keys[found] % stride
     out_dist[found] = keys[found] // stride
     return out_idx, out_dist
+
+
+def merge_topk_blocks(
+    blocks: list[tuple[np.ndarray, np.ndarray]],
+    k: int,
+    offsets: list[int] | np.ndarray | None = None,
+    pad_index: int = -1,
+    pad_distance: int = -1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Offset-aware batched merge of per-shard candidate blocks.
+
+    ``blocks`` is a list of ``(indices, distances)`` pairs — each a
+    ``(q, k_i)`` candidate block (widths may differ; a shard smaller
+    than ``k`` legally contributes a narrower or padded block).
+    ``offsets``, when given, holds one index offset per block: a
+    block's *valid* indices are re-based into the global ID space
+    (``index + offset``) while pad slots stay pads — the cross-shard
+    merge of :class:`~repro.core.multiboard.MultiBoardSearch`, where a
+    naively offset pad would become the bogus valid global index
+    ``offset + pad_index`` with a distance that outranks every real
+    candidate.
+
+    The merge itself is one concatenate plus one
+    :func:`merge_topk_batch` pass: no per-row (or per-block, beyond
+    the concatenate) Python, returning ``(q, k)`` int64 arrays sorted
+    by ascending (distance, index) per row and padded where fewer than
+    ``k`` real candidates exist.
+    """
+    if not blocks:
+        raise ValueError("need at least one candidate block")
+    if offsets is None:
+        idx_parts = [np.asarray(b[0], dtype=np.int64) for b in blocks]
+    else:
+        if len(offsets) != len(blocks):
+            raise ValueError(
+                f"got {len(offsets)} offsets for {len(blocks)} blocks"
+            )
+        idx_parts = []
+        for (block_idx, _), off in zip(blocks, offsets):
+            block_idx = np.asarray(block_idx, dtype=np.int64)
+            idx_parts.append(
+                np.where(block_idx != pad_index, block_idx + int(off), pad_index)
+            )
+    indices = np.concatenate(idx_parts, axis=1)
+    distances = np.concatenate(
+        [np.asarray(b[1], dtype=np.int64) for b in blocks], axis=1
+    )
+    return merge_topk_batch(
+        indices, distances, k, pad_index=pad_index, pad_distance=pad_distance
+    )

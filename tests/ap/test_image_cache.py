@@ -209,6 +209,23 @@ class TestEngineCacheIntegration:
         with pytest.raises(ValueError, match="cache"):
             APSimilaritySearch(_bits(), k=1, cache="big")
 
+    def test_process_backend_composes_with_cache(self):
+        """Artifact shipping: process workers fill the parent cache on
+        the cold run and reuse shipped artifacts on the warm run."""
+        from repro.host.parallel import ParallelConfig
+
+        data = _bits(n=40, d=8, seed=5)
+        queries = _bits(n=3, d=8, seed=6)
+        cache = BoardImageCache()
+        eng = APSimilaritySearch(
+            data, k=3, board_capacity=8, execution="functional", cache=cache,
+            parallel=ParallelConfig(n_workers=2, backend="process"),
+        )
+        eng.search(queries)
+        assert len(cache) == len(eng.partitions)
+        warm = eng.search(queries)
+        assert warm.counters.image_cache_hits == warm.n_partitions
+
     def test_results_identical_with_and_without_cache(self):
         data = _bits(n=30, d=8, seed=5)
         queries = _bits(n=3, d=8, seed=6)
@@ -222,3 +239,118 @@ class TestEngineCacheIntegration:
         warm = cached_eng.search(queries)
         assert (warm.indices == plain.indices).all()
         assert (warm.distances == plain.distances).all()
+
+
+class TestDiskPersistence:
+    """cache_dir= marries the LRU with an on-disk artifact store."""
+
+    def test_put_writes_get_reads_across_instances(self, tmp_path):
+        c1 = BoardImageCache(cache_dir=tmp_path)
+        c1.put(("k1",), {"artifact": 7})
+        assert any(tmp_path.glob("*.boardimage.pkl"))
+        c2 = BoardImageCache(cache_dir=tmp_path)  # "restarted service"
+        assert ("k1",) not in c2  # memory tier empty...
+        assert c2.get(("k1",)) == {"artifact": 7}  # ...disk serves it
+        assert c2.stats.hits == 1 and c2.stats.disk_hits == 1
+        assert c2.stats.misses == 0
+        assert ("k1",) in c2  # promoted into memory
+
+    def test_disk_miss_counts_as_miss(self, tmp_path):
+        c = BoardImageCache(cache_dir=tmp_path)
+        assert c.get(("absent",)) is None
+        assert c.stats.misses == 1 and c.stats.disk_hits == 0
+
+    def test_memory_eviction_keeps_disk_entries(self, tmp_path):
+        c = BoardImageCache(max_entries=1, cache_dir=tmp_path)
+        c.put(("a",), 1)
+        c.put(("b",), 2)  # evicts ("a",) from memory only
+        assert ("a",) not in c
+        assert c.get(("a",)) == 1  # reloaded from disk
+        assert c.stats.disk_hits == 1
+
+    def test_corrupt_disk_entry_degrades_to_miss(self, tmp_path):
+        c1 = BoardImageCache(cache_dir=tmp_path)
+        c1.put(("k",), 42)
+        (path,) = tmp_path.glob("*.boardimage.pkl")
+        path.write_bytes(b"not a pickle")
+        c2 = BoardImageCache(cache_dir=tmp_path)
+        assert c2.get(("k",)) is None
+        assert c2.stats.misses == 1
+
+    def test_unpicklable_artifact_degrades_to_memory_only(self, tmp_path):
+        import threading
+
+        c = BoardImageCache(cache_dir=tmp_path)
+        c.put(("k",), threading.Lock())  # pickle refuses locks
+        assert c.get(("k",)) is not None  # memory tier still serves it
+        assert not list(tmp_path.glob("*.tmp.*"))  # no half-written temp
+        c2 = BoardImageCache(cache_dir=tmp_path)
+        assert c2.get(("k",)) is None  # nothing ever reached disk
+
+    def test_clear_keeps_disk(self, tmp_path):
+        c = BoardImageCache(cache_dir=tmp_path)
+        c.put(("k",), 1)
+        c.clear()
+        assert len(c) == 0
+        assert c.get(("k",)) == 1
+
+    @pytest.mark.parametrize("execution", ["functional", "simulate"])
+    def test_engine_warm_starts_from_disk_with_zero_recompiles(
+        self, tmp_path, execution
+    ):
+        """The acceptance scenario: a 'restarted service' (fresh cache
+        instance over the same cache_dir) reports zero recompiles."""
+        data = _bits(n=30, d=8, seed=5)
+        queries = _bits(n=3, d=8, seed=6)
+        first = APSimilaritySearch(
+            data, k=3, board_capacity=8, execution=execution,
+            cache=BoardImageCache(cache_dir=tmp_path),
+        )
+        r1 = first.search(queries)
+        assert r1.counters.image_cache_hits == 0
+        restarted = APSimilaritySearch(
+            data, k=3, board_capacity=8, execution=execution,
+            cache=BoardImageCache(cache_dir=tmp_path),
+        )
+        r2 = restarted.search(queries)
+        recompiles = r2.n_partitions - r2.counters.image_cache_hits
+        assert recompiles == 0
+        assert restarted.cache.stats.disk_hits == r2.n_partitions
+        assert (r1.indices == r2.indices).all()
+        assert (r1.distances == r2.distances).all()
+
+    def test_multiboard_warm_starts_from_disk(self, tmp_path):
+        from repro.core.multiboard import MultiBoardSearch
+
+        data = _bits(n=40, d=8, seed=7)
+        queries = _bits(n=2, d=8, seed=8)
+        MultiBoardSearch(
+            data, k=2, n_devices=2, board_capacity=10,
+            cache=BoardImageCache(cache_dir=tmp_path),
+        ).search(queries)
+        mb = MultiBoardSearch(
+            data, k=2, n_devices=2, board_capacity=10,
+            cache=BoardImageCache(cache_dir=tmp_path),
+        )
+        res = mb.search(queries)
+        assert res.counters.image_cache_hits == sum(
+            res.per_device_partitions
+        )
+
+    def test_load_image_library_cache_dir(self, tmp_path):
+        from repro.core.images import export_image_library, load_image_library
+
+        data = _bits(n=16, d=8, seed=3)
+        queries = _bits(n=2, d=8, seed=4)
+        lib = tmp_path / "lib"
+        export_image_library(data, board_capacity=8, directory=lib)
+        eng1, _ = load_image_library(lib, k=2, execution="functional",
+                                     cache_dir=lib)
+        eng1.search(queries)
+        eng2, _ = load_image_library(lib, k=2, execution="functional",
+                                     cache_dir=lib)
+        res = eng2.search(queries)
+        assert res.counters.image_cache_hits == res.n_partitions
+        with pytest.raises(ValueError, match="not both"):
+            load_image_library(lib, k=2, cache=BoardImageCache(),
+                               cache_dir=lib)

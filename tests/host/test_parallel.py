@@ -347,3 +347,163 @@ class TestPersistentPool:
             )
         finally:
             cfg.close()
+
+
+class TestPoolLeakGuard:
+    """A persistent pool must not outlive a config dropped without close()."""
+
+    def test_dropped_config_shuts_pool_via_finalizer(self):
+        import gc
+
+        cfg = ParallelConfig(n_workers=2, backend="thread", persistent=True)
+        pool, owned = cfg._acquire_pool(2)
+        assert not owned and cfg._pool_finalizer is not None
+        del cfg
+        gc.collect()
+        assert pool._shutdown  # finalizer fired, workers released
+
+    def test_close_detaches_finalizer(self):
+        cfg = ParallelConfig(n_workers=2, backend="thread", persistent=True)
+        cfg._acquire_pool(2)
+        finalizer = cfg._pool_finalizer
+        cfg.close()
+        assert cfg._pool_finalizer is None
+        assert not finalizer.alive  # detached, will not fire later
+
+    def test_dropped_process_config_does_not_hang_exit(self, tmp_path):
+        """Regression: a dropped persistent process pool must not hang
+        interpreter exit (the weakref.finalize guard also runs atexit)."""
+        import os
+        import subprocess
+        import sys
+
+        script = tmp_path / "leak.py"
+        script.write_text(
+            "import numpy as np\n"
+            "from repro.core.engine import APSimilaritySearch\n"
+            "from repro.host.parallel import ParallelConfig\n"
+            "rng = np.random.default_rng(0)\n"
+            "data = rng.integers(0, 2, (40, 16), dtype=np.uint8)\n"
+            "queries = rng.integers(0, 2, (3, 16), dtype=np.uint8)\n"
+            "cfg = ParallelConfig(n_workers=2, backend='process',"
+            " persistent=True)\n"
+            "res = APSimilaritySearch(data, k=2, board_capacity=12,"
+            " execution='functional', parallel=cfg).search(queries)\n"
+            "assert res.n_workers == 2\n"
+            "print('done', flush=True)\n"  # cfg dropped without close()
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            "src" + (os.pathsep + env["PYTHONPATH"] if "PYTHONPATH" in env
+                     else "")
+        )
+        proc = subprocess.run(
+            [sys.executable, str(script)], env=env, timeout=60,
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "done" in proc.stdout
+
+
+class TestProcessCacheShipback:
+    """backend="process" composes with cache=: artifacts ship both ways."""
+
+    @pytest.mark.parametrize("execution", ["functional", "simulate"])
+    def test_cold_run_fills_parent_cache_warm_run_hits(self, execution):
+        from repro.ap.compiler import BoardImageCache
+
+        n, d, cap = (40, 16, 12) if execution == "functional" else (21, 8, 7)
+        data, queries = _workload(n=n, d=d, n_queries=3)
+        cache = BoardImageCache()
+        eng = APSimilaritySearch(
+            data, k=3, board_capacity=cap, execution=execution,
+            parallel=ParallelConfig(n_workers=2, backend="process"),
+            cache=cache,
+        )
+        cold = eng.search(queries)
+        assert cold.counters.image_cache_hits == 0
+        # workers shipped their builds back: the parent cache is warm
+        assert len(cache) == cold.n_partitions
+        warm = eng.search(queries)
+        assert warm.counters.image_cache_hits == warm.n_partitions
+        assert (warm.indices == cold.indices).all()
+        assert (warm.distances == cold.distances).all()
+
+    def test_process_warm_results_match_sequential(self):
+        from repro.ap.compiler import BoardImageCache
+
+        data, queries = _workload()
+        seq = APSimilaritySearch(
+            data, k=4, board_capacity=12, execution="functional"
+        ).search(queries)
+        eng = APSimilaritySearch(
+            data, k=4, board_capacity=12, execution="functional",
+            parallel=ParallelConfig(n_workers=2, backend="process"),
+            cache=BoardImageCache(),
+        )
+        eng.search(queries)
+        warm = eng.search(queries)
+        assert (warm.indices == seq.indices).all()
+        assert (warm.distances == seq.distances).all()
+
+    def test_broken_pool_fallback_rebuilds_from_original_tasks(
+        self, monkeypatch
+    ):
+        """Regression: the serial fallback after a broken pool must not
+        reuse artifact-attached tasks — their dataset slices are
+        stubbed, and a small cache may have evicted the artifact by the
+        time the in-process pass reaches it (which once rebuilt an
+        empty board and silently dropped that partition's neighbors)."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.ap.compiler import BoardImageCache
+
+        data, queries = _workload()
+        seq = APSimilaritySearch(
+            data, k=3, board_capacity=12, execution="functional"
+        ).search(queries)
+        eng = APSimilaritySearch(
+            data, k=3, board_capacity=12, execution="functional",
+            parallel=ParallelConfig(n_workers=2, backend="process"),
+            cache=BoardImageCache(max_entries=1),  # evicts aggressively
+        )
+        assert (eng.search(queries).indices == seq.indices).all()
+
+        class BrokenPool:
+            def submit(self, fn, *args, **kwargs):
+                raise BrokenProcessPool("worker spawn failed")
+
+            def shutdown(self, *args, **kwargs):
+                pass
+
+        monkeypatch.setattr(
+            ParallelConfig, "_spawn_pool", lambda self, n: BrokenPool()
+        )
+        fallback = eng.search(queries)
+        assert (fallback.indices == seq.indices).all()
+        assert (fallback.distances == seq.distances).all()
+
+    def test_shipped_artifact_is_reused_not_rebuilt(self, monkeypatch):
+        """On a warm run no worker-side board construction happens (the
+        serial in-process path exercises the same execute_partition
+        code, so the build hook is observable)."""
+        import repro.core.engine as eng_mod
+        from repro.ap.compiler import BoardImageCache
+
+        data, queries = _workload()
+        cache = BoardImageCache()
+        eng = APSimilaritySearch(
+            data, k=2, board_capacity=12, execution="functional", cache=cache
+        )
+        eng.search(queries)  # warm the cache in-process
+        builds = []
+        real = eng_mod.build_functional_board
+
+        def counting(dataset_slice, layout):
+            builds.append(1)
+            return real(dataset_slice, layout)
+
+        monkeypatch.setattr(eng_mod, "build_functional_board", counting)
+        warm = eng.search(queries)
+        assert warm.counters.image_cache_hits == warm.n_partitions
+        assert not builds

@@ -64,6 +64,47 @@ class TestSearch:
         assert "image cache" in out
         assert "4 entries" in out  # 64 vectors / 16 per board
 
+    def test_devices_flag_matches_single_board(self, dataset_files, capsys):
+        d, q, data, queries = dataset_files
+        main(["search", d, q, "-k", "3", "--board-capacity", "16",
+              "--execution", "functional", "--devices", "2",
+              "--workers", "2", "--backend", "thread"])
+        out = capsys.readouterr().out
+        assert "2 device(s)" in out
+        from repro.core.engine import APSimilaritySearch
+
+        ref = APSimilaritySearch(
+            data, k=3, board_capacity=16, execution="functional"
+        ).search(queries)
+        for qi in range(3):
+            pair = f"{ref.indices[qi][0]}:{ref.distances[qi][0]}"
+            assert f"q{qi}: {pair}" in out
+
+    def test_devices_below_one_rejected(self, dataset_files, capsys):
+        d, q, *_ = dataset_files
+        assert main(["search", d, q, "--devices", "0"]) == 2
+        assert "--devices must be >= 1" in capsys.readouterr().err
+
+    def test_devices_beyond_dataset_rejected(self, dataset_files, capsys):
+        d, q, *_ = dataset_files  # dataset has 64 vectors
+        assert main(["search", d, q, "--devices", "65"]) == 2
+        assert "exceeds the dataset" in capsys.readouterr().err
+
+    def test_cache_dir_warm_start_reports_zero_recompiles(
+        self, dataset_files, tmp_path, capsys
+    ):
+        d, q, *_ = dataset_files
+        cache_dir = str(tmp_path / "imgcache")
+        args = ["search", d, q, "--board-capacity", "16",
+                "--execution", "functional", "--cache-dir", cache_dir]
+        main(args)
+        cold = capsys.readouterr().out
+        assert "4 recompile(s)" in cold
+        main(args)  # fresh cache instance, same directory: warm start
+        warm = capsys.readouterr().out
+        assert "0 recompile(s)" in warm
+        assert "(4 from disk)" in warm
+
 
 class TestCompileSimulate:
     def test_compile_to_stdout(self, capsys):
