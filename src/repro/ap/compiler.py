@@ -56,6 +56,8 @@ __all__ = [
     "CacheStats",
     "dataset_digest",
     "partition_cache_key",
+    "export_artifact_shm",
+    "import_artifact_shm",
 ]
 
 
@@ -292,6 +294,35 @@ class APCompiler:
 # -- compiled board-image cache ------------------------------------------
 
 
+def export_artifact_shm(artifact: Any, exporter) -> Any:
+    """Ship a compiled board artifact into shared memory.
+
+    ``exporter`` is a :class:`~repro.host.shm.ShmExporter`; the return
+    value is a tiny :class:`~repro.host.shm.ShmPickle` descriptor whose
+    big buffers (a functional board's packed dataset) live in shared
+    segments.  Export once, attach to many tasks: the exporter
+    deduplicates by artifact identity, so a warm cache's artifacts
+    cross into shared memory once per pool lifetime.  Only artifacts
+    that never mutate their buffers should travel this way — importers
+    get read-only views (see ``shm_exportable`` on
+    :class:`~repro.core.functional.FunctionalKnnBoard`).
+    """
+    return exporter.export_pickled(artifact)
+
+
+def import_artifact_shm(descriptor: Any) -> Any:
+    """Reassemble an artifact exported by :func:`export_artifact_shm`.
+
+    The artifact's arrays come back as zero-copy read-only views of the
+    shared segments (pinned until the artifact is garbage-collected).
+    Import is deferred so this module never drags in the host layer at
+    import time (the host layer imports the compiler).
+    """
+    from ..host.shm import load_pickled
+
+    return load_pickled(descriptor)
+
+
 def dataset_digest(dataset_bits: np.ndarray) -> str:
     """Content hash of a binary partition (shape-disambiguated)."""
     dataset_bits = np.ascontiguousarray(dataset_bits, dtype=np.uint8)
@@ -339,13 +370,17 @@ class CacheStats:
     ``disk_hits`` counts the subset of ``hits`` served from the
     on-disk store (``cache_dir=``) rather than memory — the warm-start
     figure: a freshly restarted service whose every partition loads
-    from disk recompiles nothing.
+    from disk recompiles nothing.  ``disk_evictions`` counts artifacts
+    garbage-collected from the on-disk store to honor
+    ``max_disk_entries=``/``max_disk_bytes=`` budgets (``evictions``
+    remains memory-tier only).
     """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     disk_hits: int = 0
+    disk_evictions: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -381,6 +416,15 @@ class BoardImageCache:
     restarts — a restarted service pointed at the same directory
     starts warm and recompiles nothing.  The directory is trusted
     (artifacts are pickles); share it only between hosts you control.
+
+    By default disk entries persist indefinitely; ``max_disk_entries=``
+    and/or ``max_disk_bytes=`` bound the store with least-recently-used
+    garbage collection (disk hits refresh recency via mtime): after
+    every disk write the oldest artifacts are deleted until both
+    budgets hold, so a bounded directory never exceeds them —
+    ``CacheStats.disk_evictions`` counts the deletions.  Budgets are
+    enforced strictly: a single artifact larger than ``max_disk_bytes``
+    is itself collected (the memory tier keeps serving it).
     """
 
     DEFAULT_MAX_ENTRIES = 64
@@ -389,15 +433,34 @@ class BoardImageCache:
         self,
         max_entries: int = DEFAULT_MAX_ENTRIES,
         cache_dir: str | Path | None = None,
+        max_disk_entries: int | None = None,
+        max_disk_bytes: int | None = None,
     ):
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
+        if max_disk_entries is not None and max_disk_entries < 1:
+            raise ValueError("max_disk_entries must be >= 1")
+        if max_disk_bytes is not None and max_disk_bytes < 1:
+            raise ValueError("max_disk_bytes must be >= 1")
+        if cache_dir is None and (
+            max_disk_entries is not None or max_disk_bytes is not None
+        ):
+            raise ValueError("disk budgets require cache_dir")
         self.max_entries = int(max_entries)
+        self.max_disk_entries = (
+            int(max_disk_entries) if max_disk_entries is not None else None
+        )
+        self.max_disk_bytes = (
+            int(max_disk_bytes) if max_disk_bytes is not None else None
+        )
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
         self._entries: OrderedDict[tuple, Any] = OrderedDict()
         self._lock = threading.RLock()
+        # Serializes this process's disk GC scans; deletions still
+        # tolerate races with other processes sharing the directory.
+        self._disk_lock = threading.Lock()
         self.stats = CacheStats()
 
     def __len__(self) -> int:
@@ -421,12 +484,19 @@ class BoardImageCache:
         path = self._disk_path(key)
         try:
             with open(path, "rb") as f:
-                return pickle.load(f)
+                value = pickle.load(f)
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError):
             # Missing file or an artifact written by an incompatible
             # library version: treat as a miss and recompile.
             return None
+        try:
+            # A disk hit refreshes LRU recency for the disk GC: mtime
+            # is the store's recency clock.
+            os.utime(path)
+        except OSError:
+            pass
+        return value
 
     def _disk_store(self, key: tuple, value: Any) -> None:
         path = self._disk_path(key)
@@ -445,6 +515,55 @@ class BoardImageCache:
                 tmp.unlink(missing_ok=True)
             except OSError:
                 pass
+            return
+        self._disk_gc()
+
+    def _disk_gc(self) -> None:
+        """Delete least-recently-used disk artifacts until the
+        ``max_disk_entries``/``max_disk_bytes`` budgets both hold.
+
+        Runs after every successful disk write, so a bounded directory
+        never exceeds its budget between puts.  Races with other
+        processes GC'ing the same directory are benign: a file another
+        process already deleted just stops counting.
+        """
+        if self.max_disk_entries is None and self.max_disk_bytes is None:
+            return
+        with self._disk_lock:
+            entries = []
+            try:
+                candidates = list(self.cache_dir.glob("*.boardimage.pkl"))
+            except OSError:
+                return
+            for path in candidates:
+                try:
+                    st = path.stat()
+                except OSError:
+                    continue  # deleted underneath us
+                entries.append((st.st_mtime_ns, st.st_size, path))
+            entries.sort()  # oldest first; path disambiguates mtime ties
+            count = len(entries)
+            total = sum(size for _, size, _ in entries)
+            for _, size, path in entries:
+                over_entries = (
+                    self.max_disk_entries is not None
+                    and count > self.max_disk_entries
+                )
+                over_bytes = (
+                    self.max_disk_bytes is not None and total > self.max_disk_bytes
+                )
+                if not over_entries and not over_bytes:
+                    break
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    pass
+                except OSError:
+                    continue  # undeletable: skip, try the next-oldest
+                count -= 1
+                total -= size
+                with self._lock:
+                    self.stats.disk_evictions += 1
 
     def get(self, key: tuple) -> Any | None:
         """Return the cached artifact or None; a hit refreshes recency.

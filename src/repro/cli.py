@@ -49,6 +49,23 @@ def build_parser() -> argparse.ArgumentParser:
                         "artifact shipping) or threads (functional "
                         "kernels release the GIL; share the board-image "
                         "cache with the parent directly)")
+    s.add_argument("--transport", choices=["auto", "shm", "pickle"],
+                   default="auto",
+                   help="how process-worker payloads travel: shared-"
+                        "memory segments with zero-copy descriptor "
+                        "tasks ('shm'), classic per-task pickling "
+                        "('pickle'), or size-based selection ('auto', "
+                        "default: shm once the shippable payload "
+                        "reaches ~1 MiB)")
+    s.add_argument("--batch", type=int, default=0,
+                   help="route each query row through the BatchRouter "
+                        "admission layer as its own concurrent caller, "
+                        "coalescing up to this many rows per partition "
+                        "pass (serving-path demo; results stay "
+                        "bit-identical; 0 = direct batch search)")
+    s.add_argument("--batch-wait-ms", type=float, default=2.0,
+                   help="how long the admission layer lingers for more "
+                        "callers after a batch opens (with --batch)")
     s.add_argument("--cache-size", type=int, default=0,
                    help="LRU board-image cache capacity (0 = no cache "
                         "unless --cache-dir is set); sequential runs and "
@@ -61,6 +78,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "recompiles nothing, e.g. "
                         "`repro search d.npy q.npy --cache-dir ./imgcache` "
                         "twice — the second run reports zero recompiles")
+    s.add_argument("--max-disk-entries", type=int, default=None,
+                   help="LRU-garbage-collect the --cache-dir store down "
+                        "to this many artifacts after every write")
+    s.add_argument("--max-disk-bytes", type=int, default=None,
+                   help="LRU-garbage-collect the --cache-dir store down "
+                        "to this many bytes after every write")
     s.add_argument("--execution", choices=["auto", "simulate", "functional"],
                    default="auto")
     s.add_argument("--out", default=None, help="save indices to this .npy")
@@ -106,10 +129,16 @@ def _cmd_search(args) -> int:
         # on-disk persistence implies caching even at --cache-size 0
         size = (args.cache_size if args.cache_size > 0
                 else BoardImageCache.DEFAULT_MAX_ENTRIES)
-        cache = BoardImageCache(max_entries=size, cache_dir=args.cache_dir)
+        cache = BoardImageCache(
+            max_entries=size, cache_dir=args.cache_dir,
+            max_disk_entries=args.max_disk_entries,
+            max_disk_bytes=args.max_disk_bytes,
+        )
     else:
         cache = args.cache_size  # <= 0 disables caching
-    parallel = ParallelConfig(n_workers=args.workers, backend=args.backend)
+    parallel = ParallelConfig(
+        n_workers=args.workers, backend=args.backend, transport=args.transport
+    )
     common = dict(
         k=args.k,
         device=device,
@@ -118,43 +147,92 @@ def _cmd_search(args) -> int:
         parallel=parallel,
         cache=cache,
     )
+    queries = queries.astype(np.uint8)
     if args.devices > 1:
         engine = MultiBoardSearch(
             dataset.astype(np.uint8), n_devices=args.devices, **common
         )
-        result = engine.search(queries.astype(np.uint8))
-        print(f"# {queries.shape[0]} queries, k={engine.k}, "
-              f"{result.n_devices} device(s), "
-              f"{result.n_partition_passes} partition pass(es), "
-              f"mode={result.execution}, workers={result.n_workers}")
     else:
         engine = APSimilaritySearch(dataset.astype(np.uint8), **common)
-        result = engine.search(queries.astype(np.uint8))
-        print(f"# {queries.shape[0]} queries, k={result.k}, "
-              f"{result.n_partitions} partition(s), mode={result.execution}, "
-              f"workers={result.n_workers}")
-    print(f"# board loads={result.counters.configurations} "
-          f"symbols={result.counters.symbols_streamed} "
-          f"reports={result.counters.reports_received}")
+
+    if args.batch > 0:
+        indices, distances, counters, k = _batched_search(engine, queries, args)
+    else:
+        result = engine.search(queries)
+        indices, distances, counters, k = (
+            result.indices, result.distances, result.counters, result.k
+        )
+        if args.devices > 1:
+            print(f"# {queries.shape[0]} queries, k={k}, "
+                  f"{result.n_devices} device(s), "
+                  f"{result.n_partition_passes} partition pass(es), "
+                  f"mode={result.execution}, workers={result.n_workers}, "
+                  f"transport={result.transport}")
+        else:
+            print(f"# {queries.shape[0]} queries, k={k}, "
+                  f"{result.n_partitions} partition(s), "
+                  f"mode={result.execution}, workers={result.n_workers}, "
+                  f"transport={result.transport}")
+    print(f"# board loads={counters.configurations} "
+          f"symbols={counters.symbols_streamed} "
+          f"reports={counters.reports_received}")
     if engine.cache is not None:
         st = engine.cache.stats
-        recompiles = result.counters.configurations - \
-            result.counters.image_cache_hits
+        recompiles = counters.configurations - counters.image_cache_hits
         print(f"# image cache: {len(engine.cache)} entries, "
               f"{st.hits} hits ({st.disk_hits} from disk) / "
-              f"{st.misses} misses, {st.evictions} evictions, "
+              f"{st.misses} misses, {st.evictions} evictions "
+              f"({st.disk_evictions} disk), "
               f"{recompiles} recompile(s) this run")
     est = engine.estimated_runtime_s(queries.shape[0])
     print(f"# estimated {args.device} device time: {est * 1e3:.3f} ms")
     for qi in range(min(queries.shape[0], 10)):
         pairs = " ".join(
-            f"{i}:{d}" for i, d in zip(result.indices[qi], result.distances[qi])
+            f"{i}:{d}" for i, d in zip(indices[qi], distances[qi])
         )
         print(f"q{qi}: {pairs}")
     if args.out:
-        np.save(args.out, result.indices)
+        np.save(args.out, indices)
         print(f"# indices saved to {args.out}")
     return 0
+
+
+def _batched_search(engine, queries, args):
+    """Serving-path demo: every query row becomes one concurrent caller
+    admitted through the engine's BatchRouter; the router coalesces
+    them into merged partition passes and the slices reassemble into
+    the same (q, k) arrays a direct search would produce."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.ap.runtime import RuntimeCounters
+
+    n_q = queries.shape[0]
+    if n_q == 0:
+        # Nothing to admit: the direct path already handles an empty
+        # batch, and a zero-worker thread pool would not.
+        res = engine.search(queries)
+        return res.indices, res.distances, res.counters, res.k
+    router = engine.batched(
+        max_batch=args.batch, max_wait_ms=args.batch_wait_ms
+    )
+    with router:
+        with ThreadPoolExecutor(max_workers=min(32, n_q)) as pool:
+            outs = list(pool.map(
+                lambda qi: router.search(queries[qi]), range(n_q)
+            ))
+    indices = np.vstack([o.indices for o in outs])
+    distances = np.vstack([o.distances for o in outs])
+    # Each coalesced batch ran once and its counters object is shared
+    # by every caller it served: aggregate unique objects only.
+    counters = RuntimeCounters()
+    for c in {id(o.counters): o.counters for o in outs}.values():
+        counters.merge(c)
+    stats = router.stats
+    print(f"# {n_q} queries as {stats.calls} concurrent caller(s) -> "
+          f"{stats.batches} coalesced pass(es), "
+          f"largest batch {stats.max_batch_rows} row(s), "
+          f"coalescing {stats.coalescing_ratio:.1f}x, k={outs[0].k}")
+    return indices, distances, counters, outs[0].k
 
 
 def _cmd_compile(args) -> int:

@@ -261,6 +261,12 @@ class KnnResult:
     execution: str
     k: int = field(default=-1)
     n_workers: int = 1  # worker lanes that actually ran (1 = sequential)
+    # How task payloads traveled to workers: "none" (in-process),
+    # "pickle", or "shm" (zero-copy shared-memory descriptors).
+    transport: str = "none"
+    # Parent->worker submission bytes, recorded only under
+    # ParallelConfig(measure_ipc=True).
+    ipc_payload_bytes: int | None = None
 
     def __post_init__(self) -> None:
         if self.k < 0:
@@ -444,6 +450,8 @@ class APSimilaritySearch:
         counters = RuntimeCounters()
 
         n_workers_used = 1
+        transport = "none"
+        ipc_payload_bytes = None
         if self.parallel.effective_workers > 1 and len(self.partitions) > 1:
             run = run_partitions(
                 self._partition_tasks(mode),
@@ -452,6 +460,8 @@ class APSimilaritySearch:
                 cache=self.cache,
             )
             n_workers_used = run.n_workers
+            transport = run.transport
+            ipc_payload_bytes = run.ipc_payload_bytes
             for res in run.results:  # sorted by partition index
                 counters.merge(res.counters)
                 block = self._decode_partition(res.q_idx, res.codes, res.cycles, n_q)
@@ -490,6 +500,32 @@ class APSimilaritySearch:
             execution=mode,
             k=self.k,
             n_workers=n_workers_used,
+            transport=transport,
+            ipc_payload_bytes=ipc_payload_bytes,
+        )
+
+    # -- admission / batching ---------------------------------------------
+
+    def batched(
+        self,
+        max_batch: int = 256,
+        max_wait_ms: float = 2.0,
+        max_pending: int = 1024,
+    ):
+        """A :class:`~repro.host.batching.BatchRouter` over this engine.
+
+        Concurrent callers' ``search()`` calls coalesce into one merged
+        query batch per partition pass and split back bit-identically —
+        the admission layer for many small concurrent callers.  Close
+        the router (or use it as a context manager) when done.
+        """
+        from ..host.batching import BatchRouter
+
+        return BatchRouter(
+            self,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            max_pending=max_pending,
         )
 
     # -- back-ends --------------------------------------------------------

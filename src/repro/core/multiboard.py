@@ -97,6 +97,15 @@ class MultiBoardResult:
     # when execution="auto" picked differently across shards.
     execution: str = "functional"
     n_workers: int = 1  # host worker lanes that actually ran
+    # Task-payload transport ("none"/"pickle"/"shm") and, under
+    # ParallelConfig(measure_ipc=True), the submitted payload bytes.
+    transport: str = "none"
+    ipc_payload_bytes: int | None = None
+
+    @property
+    def k(self) -> int:
+        """Effective neighbors per query (column count of the result)."""
+        return int(self.indices.shape[1])
 
     @property
     def n_devices(self) -> int:
@@ -237,6 +246,25 @@ class MultiBoardSearch:
             counters=counters,
             execution=modes.pop() if len(modes) == 1 else "mixed",
             n_workers=run.n_workers,
+            transport=run.transport,
+            ipc_payload_bytes=run.ipc_payload_bytes,
+        )
+
+    def batched(
+        self,
+        max_batch: int = 256,
+        max_wait_ms: float = 2.0,
+        max_pending: int = 1024,
+    ):
+        """A :class:`~repro.host.batching.BatchRouter` over this searcher;
+        see :meth:`repro.core.engine.APSimilaritySearch.batched`."""
+        from ..host.batching import BatchRouter
+
+        return BatchRouter(
+            self,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            max_pending=max_pending,
         )
 
     def estimated_runtime_s(self, n_queries: int) -> float:

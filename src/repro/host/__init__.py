@@ -1,7 +1,9 @@
 """Host-side driver stack (paper Fig. 1a): simulated-time device/host
 timelines, submission policies, the Section III-C partition scheduler,
-and the sharded parallel partition-execution layer."""
+the sharded parallel partition-execution layer with its zero-copy
+shared-memory transport, and the query batching/admission layer."""
 
+from .batching import BatchedResult, BatchRouter, BatchRouterStats, QueryBatcher
 from .driver import APDriver, OpKind, SubmissionMode, Timeline, TimelineEntry
 from .parallel import (
     ParallelConfig,
@@ -11,6 +13,7 @@ from .parallel import (
     run_partitions,
 )
 from .scheduler import POLICIES, ScheduleResult, schedule_knn_run
+from .shm import ShmArrayRef, ShmExporter, ShmPickle, shm_available
 
 __all__ = [
     "APDriver",
@@ -26,4 +29,12 @@ __all__ = [
     "PartitionRunReport",
     "PartitionTask",
     "run_partitions",
+    "BatchRouter",
+    "QueryBatcher",
+    "BatchedResult",
+    "BatchRouterStats",
+    "ShmArrayRef",
+    "ShmExporter",
+    "ShmPickle",
+    "shm_available",
 ]

@@ -35,6 +35,30 @@ Backends
   (debugging aid, and the silent fallback when a pool cannot be
   created).
 
+Transport
+---------
+
+``backend="process"`` historically pickled every task's dataset slice
+(or compiled board artifact) through the executor pipe — per task, per
+search.  ``transport`` now picks how process-worker payloads travel:
+
+* ``"auto"`` (default) — shared memory (:mod:`repro.host.shm`) when it
+  is available **and** the shippable payload reaches
+  :data:`SHM_MIN_PAYLOAD_BYTES`; the pickle path otherwise, so small
+  searches never pay segment setup.
+* ``"shm"`` — force shared memory when available (still falls back to
+  pickle on platforms without it or when a segment cannot be created).
+* ``"pickle"`` — always the classic path.
+
+Under shared memory the parent exports dataset slices and functional
+board artifacts into :mod:`multiprocessing.shared_memory` segments
+once per exporter lifetime (per *pool* lifetime for ``persistent=True``
+configs — repeated searches re-ship nothing) and tasks carry only
+``(segment, offset, shape, dtype)`` descriptors; workers reconstruct
+zero-copy read-only views.  Thread/serial backends share the parent's
+memory already and bypass the transport entirely.  Results are
+bit-identical across every transport × backend combination.
+
 Pool lifetime
 -------------
 
@@ -52,6 +76,7 @@ threads/processes or hang shutdown.
 
 from __future__ import annotations
 
+import pickle
 import threading
 import weakref
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
@@ -61,8 +86,10 @@ from typing import Any
 
 import numpy as np
 
+from ..ap.compiler import export_artifact_shm, import_artifact_shm
 from ..ap.device import APDeviceSpec, GEN1
 from ..ap.runtime import RuntimeCounters
+from .shm import ShmArrayRef, ShmExporter, resolve_array, shm_available
 
 __all__ = [
     "ParallelConfig",
@@ -70,9 +97,16 @@ __all__ = [
     "PartitionResult",
     "PartitionRunReport",
     "run_partitions",
+    "SHM_MIN_PAYLOAD_BYTES",
 ]
 
 _POOL_ERRORS = (OSError, PermissionError, ImportError)
+
+# transport="auto" switches the process backend to shared memory only
+# when the shippable payload (dataset slices + exportable artifacts +
+# per-task query batches) reaches this size; below it the pickle path's
+# simplicity wins and small searches never pay segment setup.
+SHM_MIN_PAYLOAD_BYTES = 1 << 20
 
 
 def _shutdown_executor(pool: Executor) -> None:
@@ -91,14 +125,26 @@ class ParallelConfig:
     ``fallback_serial`` controls what happens when a pool cannot be
     created: degrade gracefully (default) or raise.
 
+    ``transport`` picks how process-worker payloads travel: ``"auto"``
+    (shared memory for large payloads when available, pickle
+    otherwise), ``"shm"`` (force shared memory when available), or
+    ``"pickle"`` (always the classic path).  ``measure_ipc=True`` makes
+    :func:`run_partitions` record the submitted task payload bytes in
+    its report — benchmarking aid; it pays an extra pickle pass, so
+    leave it off in production.
+
     ``persistent=True`` makes this config own a reusable worker pool:
     spawned lazily on the first :func:`run_partitions` call, reused by
     every later call, released by :meth:`close` (or by using the
-    config as a context manager).  A ``weakref.finalize`` guard shuts
+    config as a context manager).  A shared-memory exporter created for
+    the pool lives and dies with it, so stable payloads (an engine's
+    partition slices, warm-cache artifacts) cross into shared memory
+    once per pool lifetime.  A ``weakref.finalize`` guard shuts
     the pool down if the config is garbage-collected — or the
     interpreter exits — without ``close()``, so a dropped config never
-    leaks workers or hangs shutdown.  The pool handle never
-    participates in equality/hashing, so configs compare by their
+    leaks workers or hangs shutdown (the exporter carries its own
+    equivalent guard).  The pool and exporter handles never
+    participate in equality/hashing, so configs compare by their
     settings alone.
     """
 
@@ -106,6 +152,9 @@ class ParallelConfig:
     backend: str = "process"
     fallback_serial: bool = True
     persistent: bool = False
+    transport: str = "auto"
+    measure_ipc: bool = False
+    _exporter: Any = field(default=None, init=False, repr=False, compare=False)
     _pool: Executor | None = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -124,6 +173,8 @@ class ParallelConfig:
             raise ValueError("n_workers must be >= 0")
         if self.backend not in ("process", "thread", "serial"):
             raise ValueError(f"unknown parallel backend {self.backend!r}")
+        if self.transport not in ("auto", "shm", "pickle"):
+            raise ValueError(f"unknown transport {self.transport!r}")
 
     @property
     def effective_workers(self) -> int:
@@ -176,16 +227,43 @@ class ParallelConfig:
         return pool
 
     def _discard_pool(self) -> None:
-        """Drop a broken persistent pool so the next call respawns."""
+        """Drop a broken persistent pool so the next call respawns.
+
+        The exporter (if any) survives: its segments are still valid
+        and the respawned pool's workers re-attach to them."""
         pool = self._release_pool()
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)
+
+    def _acquire_exporter(self) -> tuple[ShmExporter, bool]:
+        """Return ``(exporter, owned_by_call)``, mirroring
+        :meth:`_acquire_pool`: persistent configs share one exporter for
+        the pool's lifetime so stable payloads export exactly once."""
+        if not self.persistent:
+            return ShmExporter(), True
+        with self._pool_lock:
+            exporter = self._exporter
+            if exporter is None or exporter.closed:
+                exporter = ShmExporter()
+                object.__setattr__(self, "_exporter", exporter)
+            return exporter, False
+
+    def _release_exporter(self) -> ShmExporter | None:
+        with self._pool_lock:
+            exporter = self._exporter
+            object.__setattr__(self, "_exporter", None)
+        return exporter
 
     def close(self) -> None:
         """Shut down the persistent pool (no-op if never spawned)."""
         pool = self._release_pool()
         if pool is not None:
             pool.shutdown(wait=True)
+        # Unlink shared segments only after the pool has drained: a
+        # still-running worker may be attaching them.
+        exporter = self._release_exporter()
+        if exporter is not None:
+            exporter.close()
 
     def __enter__(self) -> "ParallelConfig":
         return self
@@ -225,6 +303,13 @@ class PartitionTask:
     # Prebuilt board artifact shipped *to* a process worker from a warm
     # parent cache (None = build from dataset_bits on a miss).
     artifact: Any = None
+    # Shared-memory descriptors replacing the heavy fields under
+    # transport="shm": dataset_ref stands in for dataset_bits (which is
+    # stubbed empty) and artifact_shm for artifact.  Workers resolve
+    # them into zero-copy views before execution; the pickle path and
+    # in-process backends leave both None.
+    dataset_ref: ShmArrayRef | None = None
+    artifact_shm: Any = None
 
 
 class _ArtifactShuttle:
@@ -294,6 +379,20 @@ def execute_partition(
     from ..core.macros import MacroConfig
     from ..core.stream import StreamLayout
 
+    # Shared-memory descriptors resolve to zero-copy read-only views
+    # before the back-ends run; the pickle path carries real arrays and
+    # skips this entirely.
+    if isinstance(queries_bits, ShmArrayRef):
+        queries_bits = resolve_array(queries_bits)
+    if task.dataset_ref is not None:
+        task = replace(
+            task, dataset_bits=resolve_array(task.dataset_ref), dataset_ref=None
+        )
+    if task.artifact_shm is not None:
+        task = replace(
+            task, artifact=import_artifact_shm(task.artifact_shm), artifact_shm=None
+        )
+
     layout = StreamLayout(task.d, task.collector_depth)
     key = task.cache_key
     shuttle = None
@@ -353,11 +452,17 @@ class PartitionRunReport:
     ``n_workers`` is the worker-lane count that really ran — 1 when
     the serial path was taken, including silent pool-failure fallback —
     so callers can report true concurrency instead of the requested
-    figure.
+    figure.  ``transport`` records how task payloads traveled:
+    ``"none"`` (in-process: serial/thread, or serial fallback),
+    ``"pickle"``, or ``"shm"``.  ``ipc_payload_bytes`` is the summed
+    parent→worker submission size, recorded only under
+    ``measure_ipc=True``.
     """
 
     results: list[PartitionResult]
     n_workers: int
+    transport: str = "none"
+    ipc_payload_bytes: int | None = None
 
 
 def _attach_cached_artifact(task: PartitionTask, cache) -> PartitionTask:
@@ -374,6 +479,38 @@ def _attach_cached_artifact(task: PartitionTask, cache) -> PartitionTask:
     if artifact is None:
         return task
     return replace(task, artifact=artifact, dataset_bits=task.dataset_bits[:0])
+
+
+def _shippable_nbytes(tasks: list[PartitionTask], queries_bits: np.ndarray) -> int:
+    """Bytes the pickle path would copy through the executor pipe that
+    shared memory can eliminate: per-task query batches, dataset
+    slices, and shm-exportable artifacts."""
+    total = queries_bits.nbytes * len(tasks)
+    for t in tasks:
+        total += t.dataset_bits.nbytes
+        if t.artifact is not None and getattr(t.artifact, "shm_exportable", False):
+            total += getattr(t.artifact, "nbytes", 0)
+    return total
+
+
+def _export_task(task: PartitionTask, exporter: ShmExporter) -> PartitionTask:
+    """Swap a task's heavy payload for shared-memory descriptors.
+
+    The dataset slice always exports (an empty stub replaces it, as in
+    :func:`_attach_cached_artifact`).  Artifacts export only when they
+    opt in via ``shm_exportable`` — reconstructed artifacts hold
+    *read-only* views, so only artifacts that never mutate their
+    buffers (the functional boards) qualify; others keep riding the
+    task pickle.
+    """
+    updates: dict[str, Any] = {}
+    if task.dataset_bits.nbytes:
+        updates["dataset_ref"] = exporter.export_array(task.dataset_bits)
+        updates["dataset_bits"] = task.dataset_bits[:0]
+    if task.artifact is not None and getattr(task.artifact, "shm_exportable", False):
+        updates["artifact_shm"] = export_artifact_shm(task.artifact, exporter)
+        updates["artifact"] = None
+    return replace(task, **updates) if updates else task
 
 
 def _run_serial(
@@ -424,9 +561,57 @@ def run_partitions(
         # Process backend with a cache-aware parent: attach each
         # cached artifact to its task so warm workers skip the build.
         worker_tasks = [_attach_cached_artifact(t, cache) for t in tasks]
+
+    # -- transport: swap heavy payloads for shared-memory descriptors --
+    # Stable payloads (dataset slices, warm artifacts) go through the
+    # config's exporter — one export per pool lifetime for persistent
+    # configs; the per-call query batch gets a call-scoped exporter
+    # unlinked as soon as the futures resolve.  Any shm failure (no
+    # /dev/shm, segment creation refused) degrades to the pickle path.
+    transport = "pickle" if config.backend == "process" else "none"
+    queries_arg: Any = queries_bits
+    call_exporters: list[ShmExporter] = []
+    if (
+        config.backend == "process"
+        and config.transport != "pickle"
+        and (
+            config.transport == "shm"
+            or _shippable_nbytes(worker_tasks, queries_bits) >= SHM_MIN_PAYLOAD_BYTES
+        )
+        and shm_available()
+    ):
+        try:
+            q_exporter = ShmExporter()
+            call_exporters.append(q_exporter)
+            queries_ref = q_exporter.export_array(queries_bits)
+            exporter, exporter_owned = config._acquire_exporter()
+            if exporter_owned:
+                call_exporters.append(exporter)
+            shm_tasks = [_export_task(t, exporter) for t in worker_tasks]
+            worker_tasks = shm_tasks
+            queries_arg = queries_ref
+            transport = "shm"
+        except (OSError, ValueError, RuntimeError, pickle.PicklingError):
+            for exp in call_exporters:
+                exp.close()
+            call_exporters = []
+            queries_arg = queries_bits
+            transport = "pickle"
+
+    payload_bytes = None
+    if config.measure_ipc:
+        # Thread pools hand references around in-process: no IPC copy.
+        payload_bytes = (
+            sum(
+                len(pickle.dumps((t, queries_arg), protocol=pickle.HIGHEST_PROTOCOL))
+                for t in worker_tasks
+            )
+            if config.backend == "process"
+            else 0
+        )
     try:
         futures = [
-            executor.submit(execute_partition, t, queries_bits, worker_cache)
+            executor.submit(execute_partition, t, queries_arg, worker_cache)
             for t in worker_tasks
         ]
         results = [f.result() for f in futures]
@@ -445,6 +630,10 @@ def run_partitions(
     finally:
         if owned:
             executor.shutdown(wait=True)
+        # Unlink call-scoped segments only after the pool is done with
+        # them (futures resolved or cancelled, pool drained above).
+        for exp in call_exporters:
+            exp.close()
     if cache is not None and worker_cache is None:
         # Install boards the workers had to build: the parent cache
         # warms up even though the build happened out of process.
@@ -454,4 +643,6 @@ def run_partitions(
     return PartitionRunReport(
         results=sorted(results, key=lambda r: r.p_idx),
         n_workers=n_workers,
+        transport=transport,
+        ipc_payload_bytes=payload_bytes,
     )

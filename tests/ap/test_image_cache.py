@@ -354,3 +354,86 @@ class TestDiskPersistence:
         with pytest.raises(ValueError, match="not both"):
             load_image_library(lib, k=2, cache=BoardImageCache(),
                                cache_dir=lib)
+
+
+class TestDiskGarbageCollection:
+    """max_disk_entries/max_disk_bytes bound the on-disk store (LRU)."""
+
+    @staticmethod
+    def _disk_files(cache_dir):
+        return sorted(cache_dir.glob("*.boardimage.pkl"))
+
+    def test_requires_cache_dir(self):
+        with pytest.raises(ValueError, match="cache_dir"):
+            BoardImageCache(max_disk_entries=4)
+        with pytest.raises(ValueError, match="cache_dir"):
+            BoardImageCache(max_disk_bytes=1024)
+
+    def test_rejects_non_positive_budgets(self, tmp_path):
+        with pytest.raises(ValueError, match="max_disk_entries"):
+            BoardImageCache(cache_dir=tmp_path, max_disk_entries=0)
+        with pytest.raises(ValueError, match="max_disk_bytes"):
+            BoardImageCache(cache_dir=tmp_path, max_disk_bytes=0)
+
+    def test_entry_budget_never_exceeded(self, tmp_path):
+        cache = BoardImageCache(
+            max_entries=2, cache_dir=tmp_path, max_disk_entries=3
+        )
+        for i in range(8):
+            cache.put((f"k{i}",), f"artifact-{i}")
+            assert len(self._disk_files(tmp_path)) <= 3
+        assert cache.stats.disk_evictions == 5
+
+    def test_byte_budget_never_exceeded(self, tmp_path):
+        cache = BoardImageCache(cache_dir=tmp_path, max_disk_bytes=600)
+        for i in range(6):
+            cache.put((f"k{i}",), "x" * 128)
+            total = sum(p.stat().st_size for p in self._disk_files(tmp_path))
+            assert total <= 600
+        assert cache.stats.disk_evictions > 0
+
+    def test_oldest_evicted_first_and_disk_hit_refreshes(self, tmp_path):
+        import time
+
+        cache = BoardImageCache(
+            max_entries=1, cache_dir=tmp_path, max_disk_entries=2
+        )
+        cache.put(("old",), "O")
+        time.sleep(0.01)
+        cache.put(("new",), "N")
+        time.sleep(0.01)
+        cache.clear()
+        assert cache.get(("old",)) == "O"  # disk hit refreshes recency
+        time.sleep(0.01)
+        cache.put(("third",), "T")  # forces one eviction: "new" is LRU now
+        cache.clear()
+        assert cache.get(("old",)) == "O"
+        assert cache.get(("new",)) is None
+        assert cache.get(("third",)) == "T"
+
+    def test_memory_tier_survives_disk_eviction(self, tmp_path):
+        cache = BoardImageCache(
+            max_entries=8, cache_dir=tmp_path, max_disk_entries=1
+        )
+        cache.put(("a",), "A")
+        cache.put(("b",), "B")  # evicts "a" from disk, not memory
+        assert len(self._disk_files(tmp_path)) == 1
+        assert cache.get(("a",)) == "A"
+
+    def test_engine_with_bounded_disk_store_stays_correct(self, tmp_path):
+        data = _bits(n=40, d=8, seed=9)
+        queries = _bits(n=3, d=8, seed=10)
+        plain = APSimilaritySearch(
+            data, k=3, board_capacity=8, execution="functional"
+        ).search(queries)
+        eng = APSimilaritySearch(
+            data, k=3, board_capacity=8, execution="functional",
+            cache=BoardImageCache(
+                cache_dir=tmp_path, max_disk_entries=2
+            ),
+        )
+        r1 = eng.search(queries)
+        r2 = eng.search(queries)
+        assert len(list(tmp_path.glob("*.boardimage.pkl"))) <= 2
+        assert (r1.indices == plain.indices).all()
+        assert (r2.indices == plain.indices).all()
