@@ -12,8 +12,6 @@ all-report design's report-traffic explosion that motivates
 Section VI-C.
 """
 
-import pytest
-
 from benchmarks.conftest import fmt
 from repro.perf.roofline import ap_profile, von_neumann_profile
 from repro.workloads.params import LARGE_N, N_QUERIES, WORKLOADS

@@ -6,8 +6,6 @@ comparison macro of Fig. 8.
 """
 
 import numpy as np
-import pytest
-
 from repro.automata.network import AutomataNetwork
 from repro.automata.simulator import CompiledSimulator
 from repro.ap.extensions import (

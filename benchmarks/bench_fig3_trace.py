@@ -7,8 +7,6 @@ timing the caption calls out (counter at t = 8, report at t = 9).
 """
 
 import numpy as np
-import pytest
-
 from repro.automata.simulator import CompiledSimulator
 from repro.core.macros import build_knn_network
 from repro.core.stream import StreamLayout, encode_query

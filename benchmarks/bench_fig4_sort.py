@@ -8,8 +8,6 @@ times the cycle-accurate simulation of that sort.
 """
 
 import numpy as np
-import pytest
-
 from repro.automata.simulator import CompiledSimulator
 from repro.core.macros import build_knn_network
 from repro.core.stream import StreamLayout, encode_query

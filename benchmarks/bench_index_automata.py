@@ -9,11 +9,9 @@ numbers on exactly that trade.
 """
 
 import numpy as np
-import pytest
-
 from repro.core.index_automata import IndexGatedSearch
 from repro.core.macros import macro_ste_cost
-from repro.workloads.generators import clustered_binary, queries_near_dataset
+from repro.workloads.generators import clustered_binary
 
 
 def build_and_search():

@@ -6,7 +6,6 @@ merge partial-reconfiguration already requires).  Scaling saturates
 once a shard fits a single board configuration.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.multiboard import MultiBoardSearch

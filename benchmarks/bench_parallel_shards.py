@@ -13,9 +13,11 @@ Two production levers on the Section III-C flow:
   assumption, measured here as the second-run compile-time reduction.
 
 Runs under the pytest-benchmark harness like the other benchmarks, or
-standalone: ``python benchmarks/bench_parallel_shards.py [--quick]``.
+standalone: ``python benchmarks/bench_parallel_shards.py [--quick]``
+(writing ``BENCH_parallel.json`` next to the other trajectories).
 """
 
+import json
 import time
 
 import numpy as np
@@ -40,7 +42,7 @@ def run_parallel_parity(n=6144, d=64, n_queries=48, cap=512, workers=(2, 4)):
     seq = seq_engine.search(queries)
     t_seq = time.perf_counter() - t0
 
-    rows = [[1, f"{t_seq:.3f}", "1.00x", True]]
+    rows = [{"workers": 1, "t_s": t_seq, "speedup": 1.0, "identical": True}]
     for w in workers:
         eng = APSimilaritySearch(
             data, k=8, board_capacity=cap, execution="functional", parallel=w
@@ -53,7 +55,10 @@ def run_parallel_parity(n=6144, d=64, n_queries=48, cap=512, workers=(2, 4)):
             and (res.distances == seq.distances).all()
             and res.counters == seq.counters
         )
-        rows.append([w, f"{t_w:.3f}", f"{t_seq / t_w:.2f}x", identical])
+        rows.append({
+            "workers": w, "t_s": t_w, "speedup": t_seq / t_w,
+            "identical": identical,
+        })
     return rows, seq.n_partitions
 
 
@@ -98,9 +103,10 @@ def test_parallel_shard_parity(benchmark, report):
     report(
         "Sharded parallel functional search (n=6144, cap=512 -> 12 partitions)",
         ["Workers", "Wall time (s)", "Speedup", "Bit-identical"],
-        rows,
+        [[r["workers"], f"{r['t_s']:.3f}", f"{r['speedup']:.2f}x",
+          r["identical"]] for r in rows],
     )
-    assert all(r[3] for r in rows)
+    assert all(r["identical"] for r in rows)
 
 
 def test_cache_compile_reduction(benchmark, report):
@@ -130,6 +136,8 @@ def main(argv=None):
         "--quick", action="store_true",
         help="small workload for CI smoke runs",
     )
+    parser.add_argument("--out", default="BENCH_parallel.json",
+                        help="write results to this JSON file")
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -140,9 +148,10 @@ def main(argv=None):
         rows, n_parts = run_parallel_parity()
     print(f"== sharded parallel functional search ({n_parts} partitions) ==")
     print(f"{'workers':>8} {'time_s':>8} {'speedup':>8} {'identical':>10}")
-    for w, t, s, ok in rows:
-        print(f"{w:>8} {t:>8} {s:>8} {ok!s:>10}")
-        if not ok:
+    for r in rows:
+        print(f"{r['workers']:>8} {r['t_s']:>8.3f} {r['speedup']:>7.2f}x "
+              f"{r['identical']!s:>10}")
+        if not r["identical"]:
             raise SystemExit("FAIL: sharded results diverge from sequential")
 
     stats = run_cache_compile_reduction()
@@ -154,6 +163,14 @@ def main(argv=None):
         raise SystemExit("FAIL: cached results diverge")
     if stats["warm_hits"] != stats["n_partitions"]:
         raise SystemExit("FAIL: warm run missed the cache")
+
+    with open(args.out, "w") as f:
+        json.dump({
+            "parity": {"rows": rows, "n_partitions": n_parts},
+            "cache": stats,
+            "quick": args.quick,
+        }, f, indent=2)
+    print(f"# results written to {args.out}")
     print("ok")
     return 0
 

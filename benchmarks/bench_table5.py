@@ -15,10 +15,8 @@ wait), then apply the identical run-time model; the paper-defining
 eat the pruning gains, Gen 2 winning by 1-2 orders — must reproduce.
 """
 
-import numpy as np
 import pytest
 
-from benchmarks.conftest import fmt
 from repro.ap.device import GEN1, GEN2
 from repro.index.kdtree import RandomizedKDTrees
 from repro.index.kmeans import HierarchicalKMeans

@@ -11,7 +11,6 @@ Run:  python examples/quantization_tradeoff.py
 """
 
 from repro.ap.compiler import APCompiler
-from repro.ap.device import GEN1
 from repro.core.macros import build_knn_network, macro_ste_cost
 from repro.index.evaluation import code_length_sweep
 from repro.workloads import gaussian_features

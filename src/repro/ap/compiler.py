@@ -31,7 +31,6 @@ experiment can show "placed but only partially routed" outcomes.
 from __future__ import annotations
 
 import hashlib
-import math
 import os
 import pickle
 import threading

@@ -22,7 +22,6 @@ generations, each with the analytic gain model used in Table VIII:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -30,7 +29,7 @@ import numpy as np
 from ..automata.elements import STE, Counter, CounterMode, StartMode
 from ..automata.network import AutomataNetwork
 from ..automata.symbols import EOF, SOF, SymbolSet
-from ..core.macros import collector_tree_depth, macro_ste_cost
+from ..core.macros import macro_ste_cost
 
 __all__ = [
     "counter_increment_speedup",

@@ -54,4 +54,6 @@ __all__ = [
     "PAD",
     "BIT0",
     "BIT1",
+    "parse_anml",
+    "to_anml",
 ]

@@ -18,7 +18,7 @@ validated structurally here, compiled to AP resources by
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import networkx as nx
 
@@ -117,7 +117,6 @@ class AutomataNetwork:
         builder merges one Hamming+sorting macro per dataset vector into
         a single board-level network.
         """
-        import copy
         from dataclasses import replace
 
         mapping: dict[str, str] = {}

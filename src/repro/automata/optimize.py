@@ -29,7 +29,7 @@ from dataclasses import dataclass
 
 import networkx as nx
 
-from .elements import STE, Counter, StartMode
+from .elements import STE, StartMode
 from .network import AutomataNetwork
 
 __all__ = ["OptimizeStats", "merge_prefix_states", "remove_unreachable", "optimize"]

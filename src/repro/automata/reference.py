@@ -23,7 +23,7 @@ Semantics implemented (identical to the production simulator):
 
 from __future__ import annotations
 
-from .elements import STE, BooleanElement, BooleanOp, Counter, CounterMode, StartMode
+from .elements import BooleanOp, CounterMode, StartMode
 from .network import AutomataNetwork
 from .simulator import Report
 

@@ -42,7 +42,7 @@ from dataclasses import dataclass, field
 import numpy as np
 from scipy import sparse
 
-from .elements import STE, BooleanElement, BooleanOp, Counter, CounterMode, StartMode
+from .elements import BooleanElement, BooleanOp, Counter, CounterMode, StartMode
 from .network import AutomataNetwork
 
 __all__ = ["Report", "SimulationResult", "CompiledSimulator", "simulate"]

@@ -19,7 +19,7 @@ kNN symbol streams (:mod:`repro.core.stream`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -2,7 +2,11 @@
 
 Downstream-user entry points over the library's main flows:
 
-* ``search`` — kNN over ``.npy`` binary datasets on the simulated AP;
+* ``search`` — kNN over ``.npy`` binary datasets on the simulated AP
+  (add ``--remote host:port,...`` to fan the batch out to running
+  shard servers instead of loading a local dataset);
+* ``serve`` — expose one shard of a dataset as a network shard
+  service (``repro.host.rpc.ShardServer``);
 * ``compile`` — PCRE -> ANML compilation (the AP programming model);
 * ``simulate`` — run an ANML file against an input file and print the
   report records;
@@ -27,8 +31,23 @@ def build_parser() -> argparse.ArgumentParser:
     sub = p.add_subparsers(dest="command", required=True)
 
     s = sub.add_parser("search", help="kNN search over a binary .npy dataset")
-    s.add_argument("dataset", help=".npy uint8 array of shape (n, d), values 0/1")
+    s.add_argument("dataset", help=".npy uint8 array of shape (n, d), values "
+                              "0/1; pass '-' with --remote (the rack holds "
+                              "the data)")
     s.add_argument("queries", help=".npy uint8 array of shape (q, d)")
+    s.add_argument("--remote", default=None, metavar="HOST:PORT,...",
+                   help="comma-separated shard-server addresses: fan the "
+                        "query batch out to running `repro serve` instances "
+                        "and merge their replies (bit-identical to a local "
+                        "search over the concatenated dataset); the local "
+                        "dataset argument is ignored — pass '-'")
+    s.add_argument("--timeout-s", type=float, default=10.0,
+                   help="per-shard RPC timeout (with --remote)")
+    s.add_argument("--retries", type=int, default=1,
+                   help="per-shard reconnect-retries (with --remote)")
+    s.add_argument("--require-all-shards", action="store_true",
+                   help="fail the batch if any shard fails, instead of "
+                        "returning a flagged partial merge (with --remote)")
     s.add_argument("-k", type=int, default=10, help="neighbors per query")
     s.add_argument("--device", choices=["gen1", "gen2"], default="gen1")
     s.add_argument("--board-capacity", type=int, default=None)
@@ -88,6 +107,43 @@ def build_parser() -> argparse.ArgumentParser:
                    default="auto")
     s.add_argument("--out", default=None, help="save indices to this .npy")
 
+    v = sub.add_parser("serve", help="serve one dataset shard over TCP "
+                                     "(network-transparent shard service)")
+    v.add_argument("dataset", help=".npy uint8 array of shape (n, d), "
+                              "values 0/1 — the FULL dataset; --shard "
+                              "selects this server's balanced slice")
+    v.add_argument("--shard", default="0/1", metavar="I/N",
+                   help="serve balanced shard I of N (default 0/1 = the "
+                        "whole dataset); every server in a rack must be "
+                        "pointed at the same dataset file so offsets line "
+                        "up, e.g. --shard 0/4 ... --shard 3/4")
+    v.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default loopback; the protocol is "
+                        "unauthenticated — see the README trust model "
+                        "before exposing it beyond a trusted network)")
+    v.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 = let the OS pick; the bound port is "
+                        "printed at startup)")
+    v.add_argument("--device", choices=["gen1", "gen2"], default="gen1")
+    v.add_argument("--board-capacity", type=int, default=None)
+    v.add_argument("--devices", type=int, default=1,
+                   help="local AP boards behind this shard server "
+                        "(multi-board scale-out within the shard)")
+    v.add_argument("--workers", type=int, default=1,
+                   help="worker lanes for the shard's partition execution")
+    v.add_argument("--backend", choices=["process", "thread"],
+                   default="process")
+    v.add_argument("--transport", choices=["auto", "shm", "pickle"],
+                   default="auto")
+    v.add_argument("--cache-size", type=int, default=0,
+                   help="LRU board-image cache capacity (0 = default size; "
+                        "the server always caches)")
+    v.add_argument("--cache-dir", default=None,
+                   help="persist compiled board images here so a restarted "
+                        "shard server starts warm")
+    v.add_argument("--execution", choices=["auto", "simulate", "functional"],
+                   default="auto")
+
     c = sub.add_parser("compile", help="compile a PCRE pattern to ANML")
     c.add_argument("pattern", help="PCRE pattern (subset; see repro.automata.regex)")
     c.add_argument("--report-code", type=int, default=0)
@@ -113,6 +169,12 @@ def _cmd_search(args) -> int:
     from repro.core.multiboard import MultiBoardSearch
     from repro.host.parallel import ParallelConfig
 
+    if args.remote:
+        return _remote_search(args)
+    if args.dataset == "-":
+        print("error: dataset '-' is only valid with --remote",
+              file=sys.stderr)
+        return 2
     if args.devices < 1:
         print(f"error: --devices must be >= 1, got {args.devices}",
               file=sys.stderr)
@@ -156,7 +218,9 @@ def _cmd_search(args) -> int:
         engine = APSimilaritySearch(dataset.astype(np.uint8), **common)
 
     if args.batch > 0:
-        indices, distances, counters, k = _batched_search(engine, queries, args)
+        indices, distances, counters, k, _failed = _batched_search(
+            engine, queries, args
+        )
     else:
         result = engine.search(queries)
         indices, distances, counters, k = (
@@ -197,6 +261,124 @@ def _cmd_search(args) -> int:
     return 0
 
 
+def _remote_search(args) -> int:
+    """Fan the query batch out to running shard servers and merge."""
+    from repro.host.rpc import RemoteMultiBoardSearch, RemoteShardError
+
+    if args.dataset != "-":
+        print(f"# note: --remote serves the dataset; local file "
+              f"{args.dataset!r} is not loaded (pass '-' to silence this)",
+              file=sys.stderr)
+    queries = np.load(args.queries).astype(np.uint8)
+    addresses = [a.strip() for a in args.remote.split(",") if a.strip()]
+    try:
+        engine = RemoteMultiBoardSearch(
+            addresses,
+            k=args.k,
+            timeout_s=args.timeout_s,
+            retries=args.retries,
+            allow_partial=not args.require_all_shards,
+        )
+    except (RemoteShardError, OSError, ValueError) as exc:
+        print(f"error: cannot reach shard rack: {exc}", file=sys.stderr)
+        return 1
+    with engine:
+        try:
+            if args.batch > 0:
+                indices, distances, counters, k, failed = _batched_search(
+                    engine, queries, args
+                )
+            else:
+                result = engine.search(queries)
+                indices, distances, counters, k, failed = (
+                    result.indices, result.distances, result.counters,
+                    result.k, result.failed_shards,
+                )
+        except RemoteShardError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        answered = engine.n_shards - len(failed)
+        mode = "" if args.batch > 0 else f"mode={result.execution}, "
+        print(f"# {queries.shape[0]} queries, k={k}, "
+              f"{answered}/{engine.n_shards} shard(s) answered, "
+              f"n={engine.n}, {mode}transport=rpc"
+              + (f", PARTIAL (failed: {', '.join(failed)})"
+                 if failed else ""))
+        sent, received = engine.pool.wire_bytes
+        print(f"# board loads={counters.configurations} "
+              f"symbols={counters.symbols_streamed} "
+              f"reports={counters.reports_received}")
+        print(f"# wire traffic: {sent} bytes out, {received} bytes back")
+        for qi in range(min(queries.shape[0], 10)):
+            pairs = " ".join(
+                f"{i}:{d}" for i, d in zip(indices[qi], distances[qi])
+            )
+            print(f"q{qi}: {pairs}")
+        if args.out:
+            np.save(args.out, indices)
+            print(f"# indices saved to {args.out}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.ap.compiler import BoardImageCache
+    from repro.ap.device import GEN1, GEN2
+    from repro.host.parallel import ParallelConfig
+    from repro.host.rpc import serve_shard
+
+    try:
+        shard_index, _, n_shards = args.shard.partition("/")
+        shard_index, n_shards = int(shard_index), int(n_shards)
+    except ValueError:
+        print(f"error: --shard must be I/N, got {args.shard!r}",
+              file=sys.stderr)
+        return 2
+    dataset = np.load(args.dataset).astype(np.uint8)
+    if not 0 <= shard_index < n_shards:
+        print(f"error: --shard needs 0 <= I < N, got {args.shard}",
+              file=sys.stderr)
+        return 2
+    if n_shards > dataset.shape[0]:
+        print(f"error: --shard N ({n_shards}) exceeds the dataset's "
+              f"{dataset.shape[0]} vectors", file=sys.stderr)
+        return 2
+    if args.cache_dir:
+        size = (args.cache_size if args.cache_size > 0
+                else BoardImageCache.DEFAULT_MAX_ENTRIES)
+        cache = BoardImageCache(max_entries=size, cache_dir=args.cache_dir)
+    elif args.cache_size > 0:
+        cache = BoardImageCache(max_entries=args.cache_size)
+    else:
+        cache = True  # a shard server always caches: it is long-lived
+    server = serve_shard(
+        dataset,
+        shard_index,
+        n_shards,
+        host=args.host,
+        port=args.port,
+        n_devices=args.devices,
+        device=GEN1 if args.device == "gen1" else GEN2,
+        board_capacity=args.board_capacity,
+        execution=args.execution,
+        parallel=ParallelConfig(
+            n_workers=args.workers, backend=args.backend,
+            transport=args.transport, persistent=args.workers > 1,
+        ),
+        cache=cache,
+    )
+    host, port = server.address
+    print(f"# serving shard {shard_index}/{n_shards} "
+          f"(n={server.n}, d={server.d}, offset={server.offset}) "
+          f"on {host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("# shutting down", file=sys.stderr)
+    finally:
+        server.close()
+    return 0
+
+
 def _batched_search(engine, queries, args):
     """Serving-path demo: every query row becomes one concurrent caller
     admitted through the engine's BatchRouter; the router coalesces
@@ -211,7 +393,8 @@ def _batched_search(engine, queries, args):
         # Nothing to admit: the direct path already handles an empty
         # batch, and a zero-worker thread pool would not.
         res = engine.search(queries)
-        return res.indices, res.distances, res.counters, res.k
+        return (res.indices, res.distances, res.counters, res.k,
+                tuple(getattr(res, "failed_shards", ())))
     router = engine.batched(
         max_batch=args.batch, max_wait_ms=args.batch_wait_ms
     )
@@ -232,7 +415,8 @@ def _batched_search(engine, queries, args):
           f"{stats.batches} coalesced pass(es), "
           f"largest batch {stats.max_batch_rows} row(s), "
           f"coalescing {stats.coalescing_ratio:.1f}x, k={outs[0].k}")
-    return indices, distances, counters, outs[0].k
+    failed = tuple(sorted({s for o in outs for s in o.failed_shards}))
+    return indices, distances, counters, outs[0].k, failed
 
 
 def _cmd_compile(args) -> int:
@@ -296,6 +480,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
         "search": _cmd_search,
+        "serve": _cmd_serve,
         "compile": _cmd_compile,
         "simulate": _cmd_simulate,
         "tables": _cmd_tables,

@@ -39,7 +39,6 @@ from ..automata.network import AutomataNetwork
 from ..ap.compiler import BoardImageCache
 from .engine import APSimilaritySearch
 from .macros import MacroConfig, build_knn_network, collector_tree_depth
-from .stream import StreamLayout
 
 __all__ = ["ImageManifest", "export_image_library", "load_image_library",
            "verify_partition"]

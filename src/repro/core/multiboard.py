@@ -97,15 +97,27 @@ class MultiBoardResult:
     # when execution="auto" picked differently across shards.
     execution: str = "functional"
     n_workers: int = 1  # host worker lanes that actually ran
-    # Task-payload transport ("none"/"pickle"/"shm") and, under
+    # Task-payload transport ("none"/"pickle"/"shm", or "rpc" for the
+    # network fan-out of repro.host.rpc) and, under
     # ParallelConfig(measure_ipc=True), the submitted payload bytes.
     transport: str = "none"
     ipc_payload_bytes: int | None = None
+    # Remote fan-out degradation accounting: addresses of shards that
+    # failed to answer the batch (always empty for local execution —
+    # a local device either answers or raises).
+    failed_shards: tuple[str, ...] = ()
 
     @property
     def k(self) -> int:
         """Effective neighbors per query (column count of the result)."""
         return int(self.indices.shape[1])
+
+    @property
+    def partial(self) -> bool:
+        """True when some shard's candidates are missing from the merge:
+        the rows are still the exact top-k *over the shards that
+        answered*, but not necessarily over the full dataset."""
+        return bool(self.failed_shards)
 
     @property
     def n_devices(self) -> int:

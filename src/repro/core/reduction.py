@@ -35,15 +35,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..automata.elements import (
-    STE,
     BooleanElement,
     BooleanOp,
     Counter,
     CounterMode,
-    StartMode,
 )
 from ..automata.network import AutomataNetwork
-from ..automata.symbols import EOF, SOF, SymbolSet
 from ..util.bitops import hamming_cdist_packed, pack_bits
 from ..util.topk import merge_topk, topk_from_distances
 from .macros import MacroConfig, build_vector_macro

@@ -1,7 +1,8 @@
 """Host-side driver stack (paper Fig. 1a): simulated-time device/host
 timelines, submission policies, the Section III-C partition scheduler,
 the sharded parallel partition-execution layer with its zero-copy
-shared-memory transport, and the query batching/admission layer."""
+shared-memory transport, the query batching/admission layer, and the
+network-transparent shard service for rack-scale fan-out."""
 
 from .batching import BatchedResult, BatchRouter, BatchRouterStats, QueryBatcher
 from .driver import APDriver, OpKind, SubmissionMode, Timeline, TimelineEntry
@@ -11,6 +12,15 @@ from .parallel import (
     PartitionRunReport,
     PartitionTask,
     run_partitions,
+)
+from .rpc import (
+    RemoteMultiBoardSearch,
+    RemoteShard,
+    RemoteShardError,
+    RemoteShardPool,
+    ShardInfo,
+    ShardServer,
+    serve_shard,
 )
 from .scheduler import POLICIES, ScheduleResult, schedule_knn_run
 from .shm import ShmArrayRef, ShmExporter, ShmPickle, shm_available
@@ -37,4 +47,11 @@ __all__ = [
     "ShmExporter",
     "ShmPickle",
     "shm_available",
+    "RemoteMultiBoardSearch",
+    "RemoteShard",
+    "RemoteShardError",
+    "RemoteShardPool",
+    "ShardInfo",
+    "ShardServer",
+    "serve_shard",
 ]

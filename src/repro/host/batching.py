@@ -83,6 +83,14 @@ class BatchedResult:
     execution: str
     batch_rows: int  # merged batch size this result was computed in
     batch_calls: int  # callers coalesced into that batch
+    # Degradation accounting forwarded from searchers that report it
+    # (the remote fan-out of repro.host.rpc): shards missing from the
+    # batch this slice came out of.  Empty for local engines.
+    failed_shards: tuple = ()
+
+    @property
+    def partial(self) -> bool:
+        return bool(self.failed_shards)
 
 
 @dataclass
@@ -249,6 +257,9 @@ class BatchRouter:
                     execution=result.execution,
                     batch_rows=rows,
                     batch_calls=len(batch),
+                    failed_shards=tuple(
+                        getattr(result, "failed_shards", ())
+                    ),
                 )
                 lo = hi
         except BaseException as exc:  # engine failure fails the whole batch

@@ -1,0 +1,960 @@
+"""Network-transparent shard service: rack-scale fan-out over TCP.
+
+PR 3 scaled the search across local boards and PR 4 put an admission
+layer in front of it; this module drives the same offset-aware merge
+across *remote hosts*.  A rack deployment runs one :class:`ShardServer`
+per host — each owning a private engine over its local dataset shard,
+with its own :class:`~repro.ap.compiler.BoardImageCache`,
+:class:`~repro.host.parallel.ParallelConfig` and shared-memory
+transport — while the front door fans a query batch out to all of them
+concurrently through a :class:`RemoteShardPool` and merges the replies
+in one :func:`~repro.util.topk.merge_topk_blocks` pass.  Results are
+**bit-identical** to a single local engine over the concatenated
+dataset: every shard computes its exact local top-k with the
+library-wide (distance, index) tie-break, indices re-base to global IDs
+during the merge, and pad rows stay pads.
+
+Wire protocol (v1)
+------------------
+
+A deliberately boring length-prefixed binary protocol over TCP —
+stdlib ``socket``/``socketserver`` plus ``struct``, **no pickle ever
+crosses the network**.  Each frame is::
+
+    !4s B  B  H  Q        16-byte header
+     |  |  |  |  +-- payload length (bounded by MAX_PAYLOAD_BYTES)
+     |  |  |  +----- reserved (0)
+     |  |  +-------- message type
+     |  +----------- protocol version (PROTOCOL_VERSION)
+     +-------------- magic b"APRS"
+
+followed by ``payload length`` bytes.  ndarray payloads travel as
+``dtype-code, ndim, dims..., raw C-order bytes`` with a whitelist of
+dtypes (uint8 queries, int64 indices/distances) — a malicious or
+corrupt peer can at worst make a request fail validation; nothing on
+the wire is executable and allocations are bounded before they happen.
+
+Failure semantics
+-----------------
+
+Per-shard timeouts and bounded retries (with reconnect — a timed-out
+connection may have a stale reply in flight, so it is never reused).
+When ``allow_partial=True`` (default) a batch whose shard(s) failed
+still returns: the merge covers the shards that answered, the result's
+``failed_shards`` names the ones that did not, and ``partial`` flags
+it — the top-k over the answering shards is still exact for those
+shards by the same merge argument.  ``allow_partial=False`` turns any
+shard failure into a raised :class:`RemoteShardError`.
+
+:class:`RemoteMultiBoardSearch` wraps the pool in the same
+``search()``/``batched()`` surface as
+:class:`~repro.core.multiboard.MultiBoardSearch`, so the PR 4
+:class:`~repro.host.batching.BatchRouter` composes unchanged in front
+of a rack of remote shards.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import struct
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..util.topk import merge_topk_blocks
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_PAYLOAD_BYTES",
+    "RpcProtocolError",
+    "RemoteShardError",
+    "ShardInfo",
+    "ShardServer",
+    "RemoteShard",
+    "RemoteShardPool",
+    "RemoteMultiBoardSearch",
+    "serve_shard",
+]
+
+PROTOCOL_VERSION = 1
+MAGIC = b"APRS"
+_HEADER = struct.Struct("!4sBBHQ")
+
+# Hard ceiling on a single frame's payload: enough for ~100M int64
+# result cells, small enough that a corrupt length field cannot make
+# either side attempt a multi-gigabyte allocation.
+MAX_PAYLOAD_BYTES = 1 << 28
+
+# -- message types ---------------------------------------------------------
+
+MSG_INFO_REQ = 0x01
+MSG_INFO = 0x02
+MSG_SEARCH_REQ = 0x03
+MSG_SEARCH = 0x04
+MSG_PING = 0x05
+MSG_PONG = 0x06
+MSG_ERROR = 0x7F
+
+# Wire dtype whitelist: nothing else deserializes.
+_DTYPE_CODES = {"|u1": 1, "<i8": 2}
+_CODE_DTYPES = {1: np.dtype(np.uint8), 2: np.dtype(np.int64)}
+
+_INFO = struct.Struct("!QQQQ")  # n, d, offset, n_partitions
+_SEARCH_REQ = struct.Struct("!Q")  # k
+# counters: configurations, symbols_streamed, reports_received,
+# report_payload_bits, image_cache_hits; then execution-string length
+_SEARCH_HEAD = struct.Struct("!QQQQQB")
+_ARRAY_HEAD = struct.Struct("!BB")  # dtype code, ndim
+
+
+class RpcProtocolError(ValueError):
+    """A frame violated the wire protocol (bad magic/version/shape/size)."""
+
+
+class RemoteShardError(RuntimeError):
+    """A remote shard could not serve a request (after retries)."""
+
+
+# -- codec -----------------------------------------------------------------
+
+
+def pack_frame(msg_type: int, payload: bytes = b"") -> bytes:
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise RpcProtocolError(
+            f"payload of {len(payload)} bytes exceeds MAX_PAYLOAD_BYTES"
+        )
+    return _HEADER.pack(MAGIC, PROTOCOL_VERSION, msg_type, 0, len(payload)) + payload
+
+
+def pack_array(arr: np.ndarray) -> bytes:
+    """``dtype-code, ndim, dims..., raw bytes`` for a whitelisted array."""
+    arr = np.ascontiguousarray(arr)
+    code = _DTYPE_CODES.get(arr.dtype.str)
+    if code is None:
+        raise RpcProtocolError(f"dtype {arr.dtype} is not wire-encodable")
+    if arr.ndim > 2:
+        raise RpcProtocolError("only 1-D/2-D arrays travel on the wire")
+    head = _ARRAY_HEAD.pack(code, arr.ndim)
+    dims = struct.pack(f"!{arr.ndim}Q", *arr.shape)
+    return head + dims + arr.tobytes()
+
+
+def unpack_array(payload: bytes, offset: int = 0) -> tuple[np.ndarray, int]:
+    """Decode one packed array; returns ``(array, next_offset)``.
+
+    Validation happens *before* allocation: dtype must be whitelisted,
+    ndim <= 2, and the declared element count must fit the remaining
+    payload exactly where it is the final field.
+    """
+    if len(payload) - offset < _ARRAY_HEAD.size:
+        raise RpcProtocolError("truncated array header")
+    code, ndim = _ARRAY_HEAD.unpack_from(payload, offset)
+    dtype = _CODE_DTYPES.get(code)
+    if dtype is None:
+        raise RpcProtocolError(f"unknown wire dtype code {code}")
+    if ndim > 2:
+        raise RpcProtocolError(f"bad array ndim {ndim}")
+    offset += _ARRAY_HEAD.size
+    if len(payload) - offset < 8 * ndim:
+        raise RpcProtocolError("truncated array dims")
+    shape = struct.unpack_from(f"!{ndim}Q", payload, offset)
+    offset += 8 * ndim
+    count = 1
+    for s in shape:
+        if s > MAX_PAYLOAD_BYTES:
+            raise RpcProtocolError(f"absurd array dimension {s}")
+        count *= s
+    nbytes = count * dtype.itemsize
+    if len(payload) - offset < nbytes:
+        raise RpcProtocolError(
+            f"array body needs {nbytes} bytes, {len(payload) - offset} remain"
+        )
+    arr = np.frombuffer(payload, dtype=dtype, count=count, offset=offset)
+    return arr.reshape(shape), offset + nbytes
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise ``ConnectionError`` on EOF."""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError("peer closed the connection mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> tuple[int, bytes]:
+    """Read one ``(msg_type, payload)`` frame, validating the header."""
+    head = _recv_exact(sock, _HEADER.size)
+    magic, version, msg_type, _reserved, length = _HEADER.unpack(head)
+    if magic != MAGIC:
+        raise RpcProtocolError(f"bad magic {magic!r}")
+    if version != PROTOCOL_VERSION:
+        raise RpcProtocolError(f"unsupported protocol version {version}")
+    if length > MAX_PAYLOAD_BYTES:
+        raise RpcProtocolError(f"frame payload of {length} bytes exceeds cap")
+    return msg_type, _recv_exact(sock, length) if length else b""
+
+
+def _pack_counters(counters) -> tuple:
+    return (
+        counters.configurations,
+        counters.symbols_streamed,
+        counters.reports_received,
+        counters.report_payload_bits,
+        counters.image_cache_hits,
+    )
+
+
+def pack_search_response(result) -> bytes:
+    """Encode an engine result: counters, execution tag, index/distance
+    blocks (shard-LOCAL indices — the client merge applies offsets)."""
+    execution = result.execution.encode("utf-8")[:255]
+    head = _SEARCH_HEAD.pack(*_pack_counters(result.counters), len(execution))
+    return (
+        head
+        + execution
+        + pack_array(np.asarray(result.indices, dtype=np.int64))
+        + pack_array(np.asarray(result.distances, dtype=np.int64))
+    )
+
+
+def unpack_search_response(payload: bytes):
+    from ..ap.runtime import RuntimeCounters
+
+    if len(payload) < _SEARCH_HEAD.size:
+        raise RpcProtocolError("truncated search response")
+    fields = _SEARCH_HEAD.unpack_from(payload, 0)
+    counters = RuntimeCounters(*fields[:5])
+    exec_len = fields[5]
+    offset = _SEARCH_HEAD.size
+    if len(payload) - offset < exec_len:
+        raise RpcProtocolError("truncated execution tag")
+    execution = payload[offset : offset + exec_len].decode("utf-8")
+    offset += exec_len
+    indices, offset = unpack_array(payload, offset)
+    distances, offset = unpack_array(payload, offset)
+    if indices.shape != distances.shape or indices.ndim != 2:
+        raise RpcProtocolError(
+            f"result blocks disagree: {indices.shape} vs {distances.shape}"
+        )
+    return indices, distances, counters, execution
+
+
+# -- server ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """What a shard reports about itself at handshake time."""
+
+    n: int
+    d: int
+    offset: int  # global index base of this shard's vectors
+    n_partitions: int
+
+    @property
+    def address(self) -> str:  # pragma: no cover - cosmetic default
+        return ""
+
+
+class _ShardRequestHandler(socketserver.BaseRequestHandler):
+    """One connection: loop frames until the peer hangs up.
+
+    Protocol violations answer with ``MSG_ERROR`` and drop the
+    connection (the stream may be desynchronized); engine failures
+    answer with ``MSG_ERROR`` and keep serving.
+    """
+
+    def handle(self) -> None:
+        server: ShardServer = self.server.shard_server  # type: ignore[attr-defined]
+        sock = self.request
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        while True:
+            try:
+                msg_type, payload = read_frame(sock)
+            except (ConnectionError, OSError):
+                return  # peer done (or gone): normal end of session
+            except RpcProtocolError as exc:
+                self._send_error(sock, str(exc))
+                return
+            try:
+                if msg_type == MSG_PING:
+                    sock.sendall(pack_frame(MSG_PONG))
+                elif msg_type == MSG_INFO_REQ:
+                    info = server.info()
+                    sock.sendall(pack_frame(MSG_INFO, _INFO.pack(
+                        info.n, info.d, info.offset, info.n_partitions
+                    )))
+                elif msg_type == MSG_SEARCH_REQ:
+                    sock.sendall(pack_frame(
+                        MSG_SEARCH, server._serve_search(payload)
+                    ))
+                else:
+                    self._send_error(sock, f"unknown message type {msg_type}")
+                    return
+            except RpcProtocolError as exc:
+                self._send_error(sock, str(exc))
+                return
+            except BrokenPipeError:
+                return
+            except Exception as exc:  # engine error: report, keep serving
+                if not self._send_error(sock, f"{type(exc).__name__}: {exc}"):
+                    return
+
+    @staticmethod
+    def _send_error(sock: socket.socket, message: str) -> bool:
+        try:
+            sock.sendall(pack_frame(MSG_ERROR, message.encode("utf-8")[:4096]))
+            return True
+        except OSError:
+            return False
+
+
+class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    # Handler threads die with their connections; block_on_close would
+    # make close() wait on clients that never hang up.
+    block_on_close = False
+
+
+class ShardServer:
+    """Serve exact kNN over one local dataset shard on a TCP port.
+
+    The server owns its engine stack outright — per-``k`` engines over
+    the shard (lazily built; they share one
+    :class:`~repro.ap.compiler.BoardImageCache` so partition artifacts
+    compile once regardless of how many distinct ``k`` values clients
+    request), a :class:`~repro.host.parallel.ParallelConfig` for local
+    fan-out (including the PR 4 shared-memory transport), and
+    optionally multiple local boards (``n_devices > 1`` builds a
+    :class:`~repro.core.multiboard.MultiBoardSearch` per ``k``).
+
+    ``offset`` is the shard's global index base: responses carry
+    shard-local indices and the *client* re-bases them during its
+    merge, so the offset only has to be right in one place — the
+    handshake (:class:`ShardInfo`).
+
+    ``serve_forever()`` blocks (CLI use); ``start()`` runs the accept
+    loop in a background thread (embedding/tests).  ``close()`` stops
+    the loop, closes the listening socket, and releases the engine's
+    parallel pool.
+    """
+
+    def __init__(
+        self,
+        dataset_bits: np.ndarray,
+        offset: int = 0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        n_devices: int = 1,
+        **engine_kwargs,
+    ):
+        from ..core.engine import APSimilaritySearch
+
+        dataset_bits = np.asarray(dataset_bits, dtype=np.uint8)
+        if dataset_bits.ndim != 2 or dataset_bits.shape[0] == 0:
+            raise ValueError("shard dataset must be a non-empty (n, d) array")
+        if offset < 0:
+            raise ValueError("offset must be >= 0")
+        self.dataset = dataset_bits
+        self.n, self.d = dataset_bits.shape
+        self.offset = int(offset)
+        self.n_devices = int(n_devices)
+        engine_kwargs.setdefault("cache", True)
+        self._engine_kwargs = engine_kwargs
+        self._cache = APSimilaritySearch._normalize_cache(engine_kwargs["cache"])
+        self._engine_kwargs["cache"] = self._cache
+        self._engines: dict[int, object] = {}
+        self._engine_lock = threading.Lock()
+        self._server = _ThreadingTCPServer(
+            (host, port), _ShardRequestHandler, bind_and_activate=True
+        )
+        self._server.shard_server = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+        self._serving = threading.Event()
+        self._closed = False
+
+    # -- engine management -------------------------------------------------
+
+    def _engine_for(self, k: int):
+        """The shard engine serving ``k`` neighbors (built on first use).
+
+        Engines fix ``k`` at construction; a per-``k`` dict keeps the
+        wire request stateless.  The shared content-addressed cache
+        means a new ``k`` never recompiles boards — only the cheap
+        engine shell is rebuilt.
+        """
+        k = min(int(k), self.n)
+        with self._engine_lock:
+            engine = self._engines.get(k)
+            if engine is None:
+                from ..core.engine import APSimilaritySearch
+                from ..core.multiboard import MultiBoardSearch
+
+                if self.n_devices > 1:
+                    engine = MultiBoardSearch(
+                        self.dataset, k=k, n_devices=self.n_devices,
+                        **self._engine_kwargs,
+                    )
+                else:
+                    engine = APSimilaritySearch(
+                        self.dataset, k=k, **self._engine_kwargs
+                    )
+                self._engines[k] = engine
+            return engine
+
+    def info(self) -> ShardInfo:
+        # Any engine knows the shard's partitioning; only build one
+        # (k=1, the cheapest shell) when no search has warmed one yet.
+        with self._engine_lock:
+            engine = next(iter(self._engines.values()), None)
+        if engine is None:
+            engine = self._engine_for(1)
+        n_partitions = (
+            engine.n_partition_passes
+            if hasattr(engine, "n_partition_passes")
+            else len(engine.partitions)
+        )
+        return ShardInfo(
+            n=self.n, d=self.d, offset=self.offset, n_partitions=n_partitions
+        )
+
+    def _serve_search(self, payload: bytes) -> bytes:
+        if len(payload) < _SEARCH_REQ.size:
+            raise RpcProtocolError("truncated search request")
+        (k,) = _SEARCH_REQ.unpack_from(payload, 0)
+        if not 1 <= k <= MAX_PAYLOAD_BYTES:
+            raise RpcProtocolError(f"bad k={k}")
+        queries, end = unpack_array(payload, _SEARCH_REQ.size)
+        if end != len(payload):
+            raise RpcProtocolError("trailing bytes after search request")
+        if queries.ndim != 2 or queries.shape[1] != self.d:
+            raise RpcProtocolError(
+                f"queries shape {queries.shape} does not match shard d={self.d}"
+            )
+        if queries.dtype != np.uint8:
+            raise RpcProtocolError("queries must be uint8")
+        result = self._engine_for(k).search(queries)
+        return pack_search_response(result)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — port is concrete even for 0."""
+        return self._server.server_address[:2]
+
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`close` (CLI entry)."""
+        self._serving.set()
+        try:
+            self._server.serve_forever(poll_interval=0.1)
+        except (OSError, ValueError):
+            # close() may have raced us and closed the listening socket
+            # before the accept loop started — selectors raise OSError
+            # or ValueError ("Invalid file descriptor") depending on
+            # where the race lands; both are a clean shutdown then.
+            if not self._closed:
+                raise
+
+    def start(self) -> "ShardServer":
+        """Serve in a daemon thread; returns self for chaining."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self.serve_forever,
+                name=f"repro-shard-{self.address[1]}",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving, close the socket, release engine pools."""
+        if self._closed:
+            return
+        self._closed = True
+        # BaseServer.shutdown() waits on an event that only
+        # serve_forever() sets: calling it on a server that was
+        # constructed but never served would block forever.
+        if self._serving.is_set():
+            self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        with self._engine_lock:
+            engines, self._engines = self._engines, {}
+        for engine in engines.values():
+            parallel = getattr(engine, "parallel", None)
+            if parallel is not None and getattr(parallel, "persistent", False):
+                parallel.close()
+
+    def __enter__(self) -> "ShardServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def serve_shard(
+    dataset_bits: np.ndarray,
+    shard_index: int = 0,
+    n_shards: int = 1,
+    **server_kwargs,
+) -> ShardServer:
+    """Construct a :class:`ShardServer` for one balanced shard of a
+    full dataset — shard bounds and the global offset are derived with
+    the same :func:`~repro.core.multiboard.balanced_shard_bounds` the
+    local multi-board layer uses, so a rack of ``serve_shard(data, i,
+    N)`` servers covers the dataset exactly."""
+    from ..core.multiboard import balanced_shard_bounds
+
+    dataset_bits = np.asarray(dataset_bits, dtype=np.uint8)
+    if not 0 <= shard_index < n_shards:
+        raise ValueError(f"need 0 <= shard_index < n_shards, got "
+                         f"{shard_index}/{n_shards}")
+    bounds = balanced_shard_bounds(dataset_bits.shape[0], n_shards)
+    lo, hi = int(bounds[shard_index]), int(bounds[shard_index + 1])
+    return ShardServer(dataset_bits[lo:hi], offset=lo, **server_kwargs)
+
+
+# -- client ----------------------------------------------------------------
+
+
+class RemoteShard:
+    """One connection-reusing client to a :class:`ShardServer`.
+
+    Not safe for concurrent requests from multiple threads over the
+    same instance without external ordering — the pool drives each
+    shard from exactly one worker lane per batch and serializes batches,
+    and a lock here guards against misuse from user code.
+
+    Any transport failure (timeout, reset, protocol violation) poisons
+    the connection — a late reply to a timed-out request must never be
+    read as the answer to the next one — so errors always reconnect.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        timeout_s: float = 10.0,
+        connect_timeout_s: float = 5.0,
+        retries: int = 1,
+    ):
+        host, sep, port = address.rpartition(":")
+        if not sep or not host:
+            raise ValueError(
+                f"shard address must be 'host:port', got {address!r}"
+            )
+        self.host, self.port = host, int(port)
+        self.address = f"{host}:{int(port)}"
+        self.timeout_s = float(timeout_s)
+        self.connect_timeout_s = float(connect_timeout_s)
+        self.retries = int(retries)
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self._sock: socket.socket | None = None
+        self._lock = threading.Lock()
+
+    # -- transport --------------------------------------------------------
+
+    def _connected(self) -> socket.socket:
+        if self._sock is None:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout_s
+            )
+            sock.settimeout(self.timeout_s)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+        return self._sock
+
+    def _drop_connection(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _request(self, msg_type: int, payload: bytes) -> tuple[int, bytes]:
+        """One request/response round with bounded reconnect-retries."""
+        frame = pack_frame(msg_type, payload)
+        last_error: Exception | None = None
+        with self._lock:
+            for _attempt in range(self.retries + 1):
+                try:
+                    sock = self._connected()
+                    sock.sendall(frame)
+                    resp_type, resp = read_frame(sock)
+                except (OSError, ConnectionError, RpcProtocolError) as exc:
+                    last_error = exc
+                    self._drop_connection()
+                    continue
+                self.bytes_sent += len(frame)
+                self.bytes_received += _HEADER.size + len(resp)
+                if resp_type == MSG_ERROR:
+                    # Server-side failure: the stream itself is intact.
+                    raise RemoteShardError(
+                        f"shard {self.address}: {resp.decode('utf-8', 'replace')}"
+                    )
+                return resp_type, resp
+        raise RemoteShardError(
+            f"shard {self.address} unreachable after "
+            f"{self.retries + 1} attempt(s): {last_error}"
+        ) from last_error
+
+    # -- requests ---------------------------------------------------------
+
+    def ping(self) -> bool:
+        resp_type, _ = self._request(MSG_PING, b"")
+        return resp_type == MSG_PONG
+
+    def info(self) -> ShardInfo:
+        resp_type, payload = self._request(MSG_INFO_REQ, b"")
+        if resp_type != MSG_INFO or len(payload) != _INFO.size:
+            raise RemoteShardError(
+                f"shard {self.address}: malformed info response"
+            )
+        n, d, offset, n_partitions = _INFO.unpack(payload)
+        return ShardInfo(n=n, d=d, offset=offset, n_partitions=n_partitions)
+
+    def search(self, queries_bits: np.ndarray, k: int):
+        """Shard-local exact top-k: ``(indices, distances, counters,
+        execution)`` with shard-LOCAL indices."""
+        payload = _SEARCH_REQ.pack(int(k)) + pack_array(
+            np.ascontiguousarray(queries_bits, dtype=np.uint8)
+        )
+        resp_type, resp = self._request(MSG_SEARCH_REQ, payload)
+        if resp_type != MSG_SEARCH:
+            raise RemoteShardError(
+                f"shard {self.address}: unexpected response type {resp_type}"
+            )
+        try:
+            return unpack_search_response(resp)
+        except RpcProtocolError as exc:
+            self._drop_connection()
+            raise RemoteShardError(f"shard {self.address}: {exc}") from exc
+
+    def close(self) -> None:
+        with self._lock:
+            self._drop_connection()
+
+    def __enter__(self) -> "RemoteShard":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class RemoteShardPool:
+    """Fan a query batch out to N remote shards and merge exactly.
+
+    The pool handshakes the shards at construction (d-consistency,
+    global offsets, total n) and keeps one reusable connection per
+    shard.  With ``allow_partial=True`` the handshake itself is
+    degradation-tolerant: a shard that is down when the pool comes up
+    is recorded as failed (at least one shard must answer) and its
+    handshake is retried on every later batch, so a rack self-heals
+    when the host returns — until then ``total_n``, and therefore the
+    effective ``k``, cover the known shards only.  ``search(queries,
+    k)`` runs all shards concurrently (one thread lane per shard),
+    applies per-shard timeouts/retries, and merges whatever answered
+    through the offset-aware :func:`~repro.util.topk.merge_topk_blocks`
+    — bit-identical to one local engine over the concatenated dataset
+    when every shard answers, and an exact merge over the answering
+    subset (flagged ``partial``, failures named in ``failed_shards``)
+    when some do not.
+    """
+
+    def __init__(
+        self,
+        addresses: list[str] | tuple[str, ...],
+        timeout_s: float = 10.0,
+        connect_timeout_s: float = 5.0,
+        retries: int = 1,
+        allow_partial: bool = True,
+    ):
+        if not addresses:
+            raise ValueError("need at least one shard address")
+        self.shards = [
+            RemoteShard(
+                addr, timeout_s=timeout_s,
+                connect_timeout_s=connect_timeout_s, retries=retries,
+            )
+            for addr in addresses
+        ]
+        self.allow_partial = bool(allow_partial)
+        self._infos: dict[int, ShardInfo] = {}
+        # Guards _infos: concurrent fan-out lanes may admit healed
+        # shards' handshakes while other lanes (or properties) read.
+        self._info_lock = threading.Lock()
+        self._pool = ThreadPoolExecutor(
+            max_workers=len(self.shards),
+            thread_name_prefix="repro-rpc-fanout",
+        )
+        # Handshake all shards concurrently (one lane each, like the
+        # query fan-out) so construction latency is one connect timeout,
+        # not the sum over dead hosts; admission stays in address order
+        # so the d-consistency anchor is deterministic.
+        handshakes = [
+            self._pool.submit(shard.info) for shard in self.shards
+        ]
+        first_error: Exception | None = None
+        for i, future in enumerate(handshakes):
+            try:
+                self._admit_info(i, future.result())
+            except (RemoteShardError, OSError, ValueError) as exc:
+                if not self.allow_partial or isinstance(exc, ValueError):
+                    self.close()
+                    raise
+                if first_error is None:
+                    first_error = exc
+        if not self._infos:
+            self.close()
+            raise RemoteShardError(
+                f"no shard of {len(self.shards)} answered the handshake"
+            ) from first_error
+
+    def _admit_info(self, i: int, info: ShardInfo) -> ShardInfo:
+        """Record a shard's handshake, enforcing d-consistency."""
+        with self._info_lock:
+            d_known = (
+                next(iter(self._infos.values())).d if self._infos else None
+            )
+            if d_known is not None and info.d != d_known:
+                raise ValueError(
+                    f"shard {self.shards[i].address} disagrees on "
+                    f"dimensionality: d={info.d} vs d={d_known}"
+                )
+            self._infos[i] = info
+            return info
+
+    @property
+    def d(self) -> int:
+        with self._info_lock:
+            return next(iter(self._infos.values())).d
+
+    @property
+    def total_n(self) -> int:
+        """Vectors across the shards that have completed a handshake."""
+        with self._info_lock:
+            return sum(info.n for info in self._infos.values())
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def wire_bytes(self) -> tuple[int, int]:
+        """Cumulative ``(sent, received)`` bytes across all shards."""
+        return (
+            sum(s.bytes_sent for s in self.shards),
+            sum(s.bytes_received for s in self.shards),
+        )
+
+    def _shard_batch(self, i: int, queries_bits: np.ndarray, k: int):
+        """One fan-out lane: (re-)handshake if needed, then search.
+
+        A shard that missed its construction-time handshake gets a new
+        attempt here — inside its own lane, so a still-dead host costs
+        only this lane's connect timeout, never the other shards'
+        latency — and the rack self-heals once the host returns.
+        """
+        shard = self.shards[i]
+        with self._info_lock:
+            info = self._infos.get(i)
+        if info is None:
+            info = self._admit_info(i, shard.info())
+        return info, shard.search(queries_bits, min(k, info.n))
+
+    def search(self, queries_bits: np.ndarray, k: int):
+        """Fan out one batch; returns a
+        :class:`~repro.core.multiboard.MultiBoardResult` whose indices
+        are global dataset IDs."""
+        from ..ap.runtime import RuntimeCounters
+        from ..core.engine import PAD_DISTANCE, PAD_INDEX
+        from ..core.multiboard import MultiBoardResult
+
+        queries_bits = np.ascontiguousarray(queries_bits, dtype=np.uint8)
+        if queries_bits.ndim == 1:
+            queries_bits = queries_bits[None, :]
+        if queries_bits.ndim != 2 or queries_bits.shape[1] != self.d:
+            raise ValueError(
+                f"queries must be (q, {self.d}) uint8, got {queries_bits.shape}"
+            )
+        n_q = queries_bits.shape[0]
+        k = int(k)
+        if k < 1:
+            raise ValueError("k must be >= 1")
+
+        # The raw requested k goes to every lane (clipped per shard at
+        # dispatch); the merge width is clipped only AFTER the fan-out,
+        # so a shard whose handshake heals mid-batch widens this very
+        # batch instead of being silently truncated to the stale
+        # total_n.
+        futures = [
+            self._pool.submit(self._shard_batch, i, queries_bits, k)
+            for i in range(len(self.shards))
+        ]
+        blocks: list[tuple[np.ndarray, np.ndarray]] = []
+        offsets: list[int] = []
+        per_shard_partitions: list[int] = []
+        failed: list[str] = []
+        counters = RuntimeCounters()
+        modes: set[str] = set()
+        first_error: Exception | None = None
+        for shard, future in zip(self.shards, futures):
+            try:
+                info, (indices, distances, delta, execution) = future.result()
+            except (RemoteShardError, OSError, ValueError) as exc:
+                failed.append(shard.address)
+                if first_error is None:
+                    first_error = exc
+                continue
+            if indices.shape[0] != n_q:
+                failed.append(shard.address)
+                if first_error is None:
+                    first_error = RemoteShardError(
+                        f"shard {shard.address} answered {indices.shape[0]} "
+                        f"rows for a {n_q}-row batch"
+                    )
+                shard.close()  # desynchronized: force a fresh connection
+                continue
+            counters.merge(delta)
+            modes.add(execution)
+            blocks.append((indices, distances))
+            offsets.append(info.offset)
+            per_shard_partitions.append(info.n_partitions)
+        if failed and not self.allow_partial:
+            raise RemoteShardError(
+                f"{len(failed)}/{len(self.shards)} shard(s) failed: "
+                f"{', '.join(failed)}"
+            ) from first_error
+
+        k_total = min(k, self.total_n)
+        if blocks:
+            indices, distances = merge_topk_blocks(
+                blocks, k_total, offsets=offsets,
+                pad_index=PAD_INDEX, pad_distance=PAD_DISTANCE,
+            )
+        else:
+            indices = np.full((n_q, k_total), PAD_INDEX, dtype=np.int64)
+            distances = np.full((n_q, k_total), PAD_DISTANCE, dtype=np.int64)
+        if len(modes) == 1:
+            execution = modes.pop()
+        else:
+            # empty set = nothing answered: "none", not a fake "mixed"
+            execution = "mixed" if modes else "none"
+        return MultiBoardResult(
+            indices=indices,
+            distances=distances,
+            per_device_partitions=per_shard_partitions,
+            counters=counters,
+            execution=execution,
+            n_workers=len(blocks),
+            transport="rpc",
+            failed_shards=tuple(failed),
+        )
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True, cancel_futures=True)
+        for shard in self.shards:
+            shard.close()
+
+    def __enter__(self) -> "RemoteShardPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class RemoteMultiBoardSearch:
+    """The :class:`~repro.core.multiboard.MultiBoardSearch` surface over
+    a rack of remote shards.
+
+    Same ``search()``/``batched()`` contract as the local engines —
+    including the ``d``/``k`` attributes the
+    :class:`~repro.host.batching.BatchRouter` validates against — so
+    the admission layer, the CLI, and any ``searcher``-shaped caller
+    compose unchanged whether the shards are threads on this host or
+    machines across a rack.
+    """
+
+    def __init__(
+        self,
+        addresses: list[str] | tuple[str, ...],
+        k: int,
+        timeout_s: float = 10.0,
+        connect_timeout_s: float = 5.0,
+        retries: int = 1,
+        allow_partial: bool = True,
+    ):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.requested_k = int(k)
+        self.pool = RemoteShardPool(
+            addresses, timeout_s=timeout_s,
+            connect_timeout_s=connect_timeout_s, retries=retries,
+            allow_partial=allow_partial,
+        )
+
+    @property
+    def n(self) -> int:
+        """Vectors across handshaken shards (grows as a rack heals)."""
+        return self.pool.total_n
+
+    @property
+    def d(self) -> int:
+        return self.pool.d
+
+    @property
+    def k(self) -> int:
+        """Effective neighbors per query: the requested ``k`` clipped
+        to the currently-known dataset size."""
+        return min(self.requested_k, self.n)
+
+    @property
+    def n_shards(self) -> int:
+        return self.pool.n_shards
+
+    def search(self, queries_bits: np.ndarray):
+        queries_bits = np.asarray(queries_bits, dtype=np.uint8)
+        if queries_bits.ndim == 1:
+            queries_bits = queries_bits[None, :]
+        if not np.isin(queries_bits, (0, 1)).all():
+            raise ValueError("queries must be binary (0/1)")
+        return self.pool.search(queries_bits, self.requested_k)
+
+    def batched(
+        self,
+        max_batch: int = 256,
+        max_wait_ms: float = 2.0,
+        max_pending: int = 1024,
+    ):
+        """A :class:`~repro.host.batching.BatchRouter` admission layer
+        in front of the remote fan-out — the PR 4 front door, unchanged."""
+        from .batching import BatchRouter
+
+        return BatchRouter(
+            self,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            max_pending=max_pending,
+        )
+
+    def close(self) -> None:
+        self.pool.close()
+
+    def __enter__(self) -> "RemoteMultiBoardSearch":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

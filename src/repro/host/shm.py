@@ -50,7 +50,7 @@ import threading
 import uuid
 import weakref
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
@@ -62,6 +62,7 @@ except ImportError:  # pragma: no cover
 
 __all__ = [
     "SHM_SEGMENT_PREFIX",
+    "SHM_UNAVAILABLE_REASON",
     "ShmArrayRef",
     "ShmPickle",
     "ShmExporter",
@@ -70,6 +71,14 @@ __all__ = [
     "resolve_array",
     "load_pickled",
 ]
+
+# Canonical human-readable reason for "shm_available() is False" —
+# shared by every test skip (and the conftest skip-count summary) so a
+# lane running without shared memory is visibly, consistently labeled.
+SHM_UNAVAILABLE_REASON = (
+    "multiprocessing.shared_memory unsupported on this platform "
+    "(no usable /dev/shm?)"
+)
 
 # Segment names are flat (no '/') and include the creating pid so leak
 # tests can tell their own residue from another process's segments.
@@ -173,7 +182,10 @@ def _attach_untracked(name: str):
     from multiprocessing import resource_tracker
 
     original = resource_tracker.register
-    resource_tracker.register = lambda *a, **kw: None
+    def _no_register(*args, **kwargs):
+        return None
+
+    resource_tracker.register = _no_register
     try:
         return _shared_memory.SharedMemory(name=name)
     finally:

@@ -28,7 +28,6 @@ import numpy as np
 from ..ap.device import APDeviceSpec, GEN1
 from ..perf.models import CPUModel
 from ..util.bitops import hamming_cdist_packed, pack_bits
-from ..util.topk import merge_topk
 from .base import SpatialIndex
 
 __all__ = ["IndexedSearchStats", "IndexedAPSearch", "indexed_runtime_model"]

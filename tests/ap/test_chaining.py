@@ -1,6 +1,5 @@
 """Tests for counter chaining."""
 
-import numpy as np
 import pytest
 
 from repro.ap.chaining import (

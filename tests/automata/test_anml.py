@@ -59,7 +59,8 @@ class TestRoundTrip:
     def test_edges_preserved(self):
         net = full_featured_network()
         net2 = parse_anml(to_anml(net))
-        key = lambda n: sorted((e.src, e.dst, e.port) for e in n.edges)
+        def key(n):
+            return sorted((e.src, e.dst, e.port) for e in n.edges)
         assert key(net2) == key(net)
 
     def test_simulation_equivalent(self):

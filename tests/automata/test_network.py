@@ -7,7 +7,6 @@ from repro.automata.elements import (
     BooleanElement,
     BooleanOp,
     Counter,
-    CounterMode,
     StartMode,
 )
 from repro.automata.network import AutomataNetwork, ValidationError

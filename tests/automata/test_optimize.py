@@ -1,7 +1,6 @@
 """Tests for the NFA optimization passes."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

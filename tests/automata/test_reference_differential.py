@@ -7,7 +7,6 @@ covers interaction cases no hand-written scenario enumerates.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

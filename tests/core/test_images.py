@@ -9,7 +9,6 @@ from repro.core.images import (
     ImageManifest,
     export_image_library,
     load_image_library,
-    verify_partition,
 )
 from tests.conftest import brute_force_knn
 

@@ -12,7 +12,6 @@ from repro.core.jaccard import (
     jaccard_similarity_matrix,
 )
 from repro.core.stream import encode_query_batch
-from repro.util.bitops import pack_bits, popcount_u64
 
 
 def brute_jaccard(queries, dataset):

@@ -8,7 +8,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.ap.compiler import BoardImageCache
-from repro.ap.device import GEN1
 from repro.ap.runtime import RuntimeCounters
 from repro.core.engine import APSimilaritySearch
 from repro.core.multiboard import MultiBoardSearch, balanced_shard_bounds

@@ -5,9 +5,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.ap.compiler import APCompiler, RoutingModel
+from repro.ap.compiler import APCompiler
 from repro.automata.simulator import CompiledSimulator
-from repro.core.macros import MacroConfig, build_knn_network, macro_ste_cost
+from repro.core.macros import build_knn_network, macro_ste_cost
 from repro.core.packing import (
     build_packed_group,
     build_packed_network,

@@ -1,6 +1,5 @@
 """Tests for the FLANN-style index auto-tuner."""
 
-import numpy as np
 import pytest
 
 from repro.index.autotune import AutoTuner, default_candidates

@@ -116,7 +116,6 @@ class TestLSH:
         data = np.vstack([np.ones((2, 16), dtype=np.uint8),
                           np.zeros((2, 16), dtype=np.uint8)])
         index = HammingLSH(data, n_tables=2, hash_bits=8, seed=0)
-        b = index.query_buckets(data[0])
         cands = index.candidates(data[0])
         assert 1 in cands  # its twin always collides in every table
 

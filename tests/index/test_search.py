@@ -1,6 +1,5 @@
 """Tests for the host-traversal + AP bucket-scan integration (E6)."""
 
-import numpy as np
 import pytest
 
 from repro.ap.device import GEN1, GEN2

@@ -1,7 +1,6 @@
 """Integration tests spanning the full stack."""
 
 import numpy as np
-import pytest
 
 from repro.ap.device import GEN1, GEN2
 from repro.baselines.cpu import CPUHammingKnn

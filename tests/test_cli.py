@@ -142,3 +142,57 @@ class TestTables:
         assert main(["tables"]) == 0
         out = capsys.readouterr().out
         assert "Xeon E5-2620" in out and "kNN-TagSpace" in out
+
+
+class TestServeAndRemote:
+    """CLI shard service: `repro serve` + `repro search --remote`."""
+
+    def test_serve_then_remote_search_matches_local(
+        self, dataset_files, capsys
+    ):
+        from repro.host.rpc import serve_shard
+
+        d, q, data, queries = dataset_files
+        # in-process servers (the CLI `serve` path is the same
+        # serve_shard + serve_forever; subprocess spawning is covered
+        # by the RPC process tests)
+        servers = [
+            serve_shard(data, i, 2, execution="functional").start()
+            for i in range(2)
+        ]
+        addresses = ",".join(
+            "{}:{}".format(*s.address) for s in servers
+        )
+        try:
+            assert main(["search", "-", q, "--remote", addresses,
+                         "-k", "3"]) == 0
+            remote_out = capsys.readouterr().out
+        finally:
+            for s in servers:
+                s.close()
+        assert "2/2 shard(s) answered" in remote_out
+        assert "transport=rpc" in remote_out
+        assert main(["search", d, q, "-k", "3",
+                     "--execution", "functional"]) == 0
+        local_out = capsys.readouterr().out
+        remote_rows = [ln for ln in remote_out.splitlines()
+                       if ln.startswith("q")]
+        local_rows = [ln for ln in local_out.splitlines()
+                      if ln.startswith("q")]
+        assert remote_rows == local_rows
+
+    def test_remote_unreachable_is_an_error(self, dataset_files, capsys):
+        _, q, *_ = dataset_files
+        assert main(["search", "-", q, "--remote", "127.0.0.1:1",
+                     "--timeout-s", "0.5", "--retries", "0"]) == 1
+        assert "cannot reach shard rack" in capsys.readouterr().err
+
+    def test_local_search_rejects_dash_dataset(self, dataset_files, capsys):
+        _, q, *_ = dataset_files
+        assert main(["search", "-", q]) == 2
+        assert "only valid with --remote" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_shard_spec(self, dataset_files, capsys):
+        d, *_ = dataset_files
+        assert main(["serve", d, "--shard", "3/2"]) == 2
+        assert "--shard" in capsys.readouterr().err
