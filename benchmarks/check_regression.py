@@ -31,6 +31,7 @@ Re-baselining (after an intentional perf change)::
     python benchmarks/bench_multiboard_scaling.py --quick
     python benchmarks/bench_shm_transport.py     --quick
     python benchmarks/bench_rpc_fanout.py        --quick
+    python benchmarks/bench_workloads.py         --quick
     python benchmarks/check_regression.py --update
 
 then commit the refreshed ``benchmarks/baselines/`` alongside the
@@ -142,6 +143,25 @@ TRACKED: dict[str, list[Metric]] = {
         Metric("rpc_overhead_max",
                lambda d: max(r["rpc_overhead"] for r in d["fanout_sweep"]),
                kind="lower_better", tolerance=1.50),
+    ],
+    "BENCH_workloads.json": [
+        Metric("bit_identical",
+               lambda d: all(s["identical"] for s in d["sweep"])
+               and all(r["identical"] for r in d["remote"]), kind="bool"),
+        Metric("no_partial_on_loopback",
+               lambda d: not any(r["partial"] for r in d["remote"]),
+               kind="bool"),
+        Metric("parallel_speedup_min",
+               lambda d: min(s["speedup"] for s in d["sweep"]),
+               tolerance=TIMING_TOLERANCE),
+        Metric("wire_bytes_out_max",
+               lambda d: max(r["wire_bytes_out_per_batch"]
+                             for r in d["remote"]),
+               kind="lower_better"),
+        Metric("wire_bytes_back_max",
+               lambda d: max(r["wire_bytes_back_per_batch"]
+                             for r in d["remote"]),
+               kind="lower_better"),
     ],
 }
 

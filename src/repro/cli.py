@@ -2,11 +2,14 @@
 
 Downstream-user entry points over the library's main flows:
 
-* ``search`` — kNN over ``.npy`` binary datasets on the simulated AP
-  (add ``--remote host:port,...`` to fan the batch out to running
-  shard servers instead of loading a local dataset);
+* ``search`` — similarity search over ``.npy`` binary datasets on the
+  simulated AP: kNN by default, any registered workload via
+  ``--workload`` (add ``--remote host:port,...`` to fan the batch out
+  to running shard servers instead of loading a local dataset);
 * ``serve`` — expose one shard of a dataset as a network shard
-  service (``repro.host.rpc.ShardServer``);
+  service (``repro.host.rpc.ShardServer``), optionally restricted to
+  named workloads;
+* ``workloads`` — list the registered workloads;
 * ``compile`` — PCRE -> ANML compilation (the AP programming model);
 * ``simulate`` — run an ANML file against an input file and print the
   report records;
@@ -49,6 +52,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fail the batch if any shard fails, instead of "
                         "returning a flagged partial merge (with --remote)")
     s.add_argument("-k", type=int, default=10, help="neighbors per query")
+    s.add_argument("--workload", default="knn", metavar="NAME",
+                   help="registered workload to run (see `repro "
+                        "workloads`): 'knn' (default, Hamming top-k), "
+                        "'jaccard' (Jaccard-similarity top-k, uses -k), "
+                        "'range' (all hits within --radius), or any "
+                        "custom registered name")
+    s.add_argument("--radius", type=int, default=None,
+                   help="Hamming radius (required by --workload range)")
     s.add_argument("--device", choices=["gen1", "gen2"], default="gen1")
     s.add_argument("--board-capacity", type=int, default=None)
     s.add_argument("--devices", type=int, default=1,
@@ -143,6 +154,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "shard server starts warm")
     v.add_argument("--execution", choices=["auto", "simulate", "functional"],
                    default="auto")
+    v.add_argument("--workload", action="append", default=None,
+                   dest="workloads", metavar="NAME",
+                   help="serve only the named workload (repeatable: "
+                        "--workload knn --workload range); default = every "
+                        "registered workload. The legacy kNN wire counts "
+                        "as 'knn' for admission")
+
+    sub.add_parser("workloads",
+                   help="list registered workloads (the --workload names)")
 
     c = sub.add_parser("compile", help="compile a PCRE pattern to ANML")
     c.add_argument("pattern", help="PCRE pattern (subset; see repro.automata.regex)")
@@ -162,13 +182,30 @@ def build_parser() -> argparse.ArgumentParser:
     return p
 
 
-def _cmd_search(args) -> int:
+def _cache_from_args(args):
+    """The ``--cache-size``/``--cache-dir`` flags as an engine ``cache=``."""
     from repro.ap.compiler import BoardImageCache
+
+    if args.cache_dir:
+        # on-disk persistence implies caching even at --cache-size 0
+        size = (args.cache_size if args.cache_size > 0
+                else BoardImageCache.DEFAULT_MAX_ENTRIES)
+        return BoardImageCache(
+            max_entries=size, cache_dir=args.cache_dir,
+            max_disk_entries=args.max_disk_entries,
+            max_disk_bytes=args.max_disk_bytes,
+        )
+    return args.cache_size  # <= 0 disables caching
+
+
+def _cmd_search(args) -> int:
     from repro.ap.device import GEN1, GEN2
     from repro.core.engine import APSimilaritySearch
     from repro.core.multiboard import MultiBoardSearch
     from repro.host.parallel import ParallelConfig
 
+    if args.workload != "knn":
+        return _workload_search(args)
     if args.remote:
         return _remote_search(args)
     if args.dataset == "-":
@@ -187,17 +224,7 @@ def _cmd_search(args) -> int:
               "shard)", file=sys.stderr)
         return 2
     device = GEN1 if args.device == "gen1" else GEN2
-    if args.cache_dir:
-        # on-disk persistence implies caching even at --cache-size 0
-        size = (args.cache_size if args.cache_size > 0
-                else BoardImageCache.DEFAULT_MAX_ENTRIES)
-        cache = BoardImageCache(
-            max_entries=size, cache_dir=args.cache_dir,
-            max_disk_entries=args.max_disk_entries,
-            max_disk_bytes=args.max_disk_bytes,
-        )
-    else:
-        cache = args.cache_size  # <= 0 disables caching
+    cache = _cache_from_args(args)
     parallel = ParallelConfig(
         n_workers=args.workers, backend=args.backend, transport=args.transport
     )
@@ -320,6 +347,156 @@ def _remote_search(args) -> int:
     return 0
 
 
+def _print_workload_rows(value, limit: int = 10) -> None:
+    """Per-query result lines for any workload value: ragged hit lists
+    (``counts``), similarity top-k, or plain index:distance top-k."""
+    counts = getattr(value, "counts", None)
+    similarities = getattr(value, "similarities", None)
+    for qi in range(min(value.indices.shape[0], limit)):
+        if counts is not None:
+            c = int(counts[qi])
+            pairs = " ".join(
+                f"{i}:{d}" for i, d in
+                zip(value.indices[qi][:c], value.distances[qi][:c])
+            )
+            print(f"q{qi} ({c} hit(s)): {pairs}")
+        elif similarities is not None:
+            pairs = " ".join(
+                f"{i}:{s:.4f}" for i, s in
+                zip(value.indices[qi], similarities[qi])
+            )
+            print(f"q{qi}: {pairs}")
+        else:
+            pairs = " ".join(
+                f"{i}:{d}" for i, d in
+                zip(value.indices[qi], value.distances[qi])
+            )
+            print(f"q{qi}: {pairs}")
+
+
+def _workload_search(args) -> int:
+    """``repro search --workload NAME``: the generic workload engine."""
+    from repro.ap.device import GEN1, GEN2
+    from repro.core.workload import WorkloadSearch, get_workload
+    from repro.host.parallel import ParallelConfig
+
+    if args.batch > 0:
+        print("error: --batch demos the admission layer on the kNN path "
+              "only; the library-level BatchRouter serves every workload "
+              "(see repro.host.batching)", file=sys.stderr)
+        return 2
+    try:
+        get_workload(args.workload)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    params = {"k": args.k}
+    if args.radius is not None:
+        params["radius"] = int(args.radius)
+    if args.remote:
+        return _remote_workload_search(args, params)
+    if args.dataset == "-":
+        print("error: dataset '-' is only valid with --remote",
+              file=sys.stderr)
+        return 2
+    dataset = np.load(args.dataset).astype(np.uint8)
+    queries = np.load(args.queries).astype(np.uint8)
+    try:
+        engine = WorkloadSearch(
+            dataset,
+            args.workload,
+            params,
+            board_capacity=args.board_capacity,
+            parallel=ParallelConfig(
+                n_workers=args.workers, backend=args.backend,
+                transport=args.transport,
+            ),
+            cache=_cache_from_args(args),
+            device=GEN1 if args.device == "gen1" else GEN2,
+        )
+    except ValueError as exc:  # e.g. --workload range without --radius
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = engine.search(queries)
+    counters = result.counters
+    print(f"# {queries.shape[0]} queries, workload={result.workload} "
+          f"params={engine.params}, {result.n_partitions} partition(s), "
+          f"workers={result.n_workers}, transport={result.transport}")
+    print(f"# board loads={counters.configurations} "
+          f"symbols={counters.symbols_streamed} "
+          f"reports={counters.reports_received}")
+    if engine.cache is not None:
+        st = engine.cache.stats
+        recompiles = counters.configurations - counters.image_cache_hits
+        print(f"# image cache: {len(engine.cache)} entries, "
+              f"{st.hits} hits / {st.misses} misses, "
+              f"{recompiles} recompile(s) this run")
+    _print_workload_rows(result.value)
+    if args.out:
+        np.save(args.out, result.indices)
+        print(f"# indices saved to {args.out}")
+    return 0
+
+
+def _remote_workload_search(args, params: dict) -> int:
+    """Fan a workload batch out to running shard servers and merge."""
+    from repro.host.rpc import RemoteShardError, RemoteWorkloadSearch
+
+    if args.dataset != "-":
+        print(f"# note: --remote serves the dataset; local file "
+              f"{args.dataset!r} is not loaded (pass '-' to silence this)",
+              file=sys.stderr)
+    queries = np.load(args.queries).astype(np.uint8)
+    addresses = [a.strip() for a in args.remote.split(",") if a.strip()]
+    try:
+        engine = RemoteWorkloadSearch(
+            addresses,
+            args.workload,
+            params,
+            timeout_s=args.timeout_s,
+            retries=args.retries,
+            allow_partial=not args.require_all_shards,
+        )
+    except (RemoteShardError, OSError) as exc:
+        print(f"error: cannot reach shard rack: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:  # malformed params / inconsistent rack
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with engine:
+        try:
+            result = engine.search(queries)
+        except RemoteShardError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        failed = result.failed_shards
+        answered = engine.n_shards - len(failed)
+        counters = result.counters
+        print(f"# {queries.shape[0]} queries, workload={result.workload} "
+              f"params={params}, {answered}/{engine.n_shards} shard(s) "
+              f"answered, n={engine.n}, transport=rpc"
+              + (f", PARTIAL (failed: {', '.join(failed)})"
+                 if failed else ""))
+        sent, received = engine.pool.wire_bytes
+        print(f"# board loads={counters.configurations} "
+              f"symbols={counters.symbols_streamed} "
+              f"reports={counters.reports_received}")
+        print(f"# wire traffic: {sent} bytes out, {received} bytes back")
+        _print_workload_rows(result.value)
+        if args.out:
+            np.save(args.out, result.indices)
+            print(f"# indices saved to {args.out}")
+    return 0
+
+
+def _cmd_workloads(args) -> int:
+    from repro.core.workload import available_workloads
+
+    for name, wl in available_workloads().items():
+        print(f"{name:10s} {wl.description}")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from repro.ap.compiler import BoardImageCache
     from repro.ap.device import GEN1, GEN2
@@ -333,6 +510,15 @@ def _cmd_serve(args) -> int:
         print(f"error: --shard must be I/N, got {args.shard!r}",
               file=sys.stderr)
         return 2
+    if args.workloads is not None:
+        from repro.core.workload import get_workload
+
+        try:
+            for name in args.workloads:
+                get_workload(name)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
     dataset = np.load(args.dataset).astype(np.uint8)
     if not 0 <= shard_index < n_shards:
         print(f"error: --shard needs 0 <= I < N, got {args.shard}",
@@ -357,6 +543,7 @@ def _cmd_serve(args) -> int:
         host=args.host,
         port=args.port,
         n_devices=args.devices,
+        workloads=args.workloads,
         device=GEN1 if args.device == "gen1" else GEN2,
         board_capacity=args.board_capacity,
         execution=args.execution,
@@ -367,9 +554,11 @@ def _cmd_serve(args) -> int:
         cache=cache,
     )
     host, port = server.address
+    serving = (", ".join(server.workloads)
+               if server.workloads is not None else "all workloads")
     print(f"# serving shard {shard_index}/{n_shards} "
           f"(n={server.n}, d={server.d}, offset={server.offset}) "
-          f"on {host}:{port}", flush=True)
+          f"on {host}:{port} [{serving}]", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -481,6 +670,7 @@ def main(argv: list[str] | None = None) -> int:
     handler = {
         "search": _cmd_search,
         "serve": _cmd_serve,
+        "workloads": _cmd_workloads,
         "compile": _cmd_compile,
         "simulate": _cmd_simulate,
         "tables": _cmd_tables,

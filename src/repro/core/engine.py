@@ -51,7 +51,6 @@ from ..ap.device import APDeviceSpec, GEN1
 from ..ap.runtime import APRuntime, REPORT_RECORD_BITS, RuntimeCounters
 from ..host.parallel import ParallelConfig, PartitionTask, run_partitions
 from ..perf.models import APModel
-from ..util.topk import merge_topk_blocks
 from .functional import FunctionalKnnBoard
 from .macros import MacroConfig, build_knn_network, collector_tree_depth
 from .stream import StreamLayout, decode_report_offsets, encode_query_batch
@@ -484,14 +483,18 @@ class APSimilaritySearch:
         # The batched merge may legally find fewer than k candidates
         # for a query (e.g. a back-end produced fewer reports than
         # dataset vectors); short rows come back padded instead of
-        # crashing on a broadcast.
+        # crashing on a broadcast.  The merge routes through the kNN
+        # reference Workload so every consumer of "knn" results — this
+        # engine, the multi-board layer, the generic workload stack —
+        # shares one merge implementation.
+        from .workload import get_workload
+
+        workload = get_workload("knn")
         if partials:
-            indices, distances = merge_topk_blocks(
-                partials, self.k, pad_index=PAD_INDEX, pad_distance=PAD_DISTANCE
-            )
+            merged = workload.merge(partials, None, {"k": self.k})
         else:
-            indices = np.full((n_q, self.k), PAD_INDEX, dtype=np.int64)
-            distances = np.full((n_q, self.k), PAD_DISTANCE, dtype=np.int64)
+            merged = workload.empty(n_q, {"k": self.k})
+        indices, distances = merged.indices, merged.distances
         return KnnResult(
             indices=indices,
             distances=distances,

@@ -54,14 +54,9 @@ from ..ap.compiler import BoardImageCache
 from ..ap.device import APDeviceSpec, GEN1
 from ..ap.runtime import RuntimeCounters
 from ..host.parallel import ParallelConfig, PartitionTask, run_partitions
-from ..util.topk import merge_topk_blocks
-from .engine import (
-    PAD_DISTANCE,
-    PAD_INDEX,
-    APSimilaritySearch,
-    decode_partition_topk,
-)
+from .engine import APSimilaritySearch, decode_partition_topk
 from .macros import MacroConfig
+from .workload import get_workload
 
 __all__ = ["MultiBoardResult", "MultiBoardSearch", "balanced_shard_bounds"]
 
@@ -243,14 +238,15 @@ class MultiBoardSearch:
         # global IDs while pad rows (short shards, k > shard size)
         # stay pads — a pad must never turn into the bogus valid
         # global index `offset - 1` outranking every real candidate.
+        # Routed through the kNN reference Workload's merge, the same
+        # implementation the single-board engine and the remote pool
+        # use.
+        workload = get_workload("knn")
         if blocks:
-            indices, distances = merge_topk_blocks(
-                blocks, self.k, offsets=offsets,
-                pad_index=PAD_INDEX, pad_distance=PAD_DISTANCE,
-            )
+            merged = workload.merge(blocks, offsets, {"k": self.k})
         else:
-            indices = np.full((n_q, self.k), PAD_INDEX, dtype=np.int64)
-            distances = np.full((n_q, self.k), PAD_DISTANCE, dtype=np.int64)
+            merged = workload.empty(n_q, {"k": self.k})
+        indices, distances = merged.indices, merged.distances
         return MultiBoardResult(
             indices=indices,
             distances=distances,

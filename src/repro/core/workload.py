@@ -1,0 +1,875 @@
+"""Workload extension interface: one compile→partition→execute→merge
+stack for every engine.
+
+The paper's AP accelerates many automata-backed similarity workloads —
+Hamming kNN (Section III), Jaccard similarity (Section II-C), range
+search — but PRs 1–5 grew the scale-out machinery (parallel partition
+fan-out, shared-memory transport, query batching, remote shards) around
+the kNN result shape alone.  This module factors the pipeline those
+layers actually rely on into a :class:`Workload` protocol:
+
+* ``compile(dataset_bits, params) → artifact`` — a per-partition
+  compiled object (the "board image"), content-addressed and cacheable
+  in a :class:`~repro.ap.compiler.BoardImageCache`, shipped to process
+  workers by value or (when it opts in via ``shm_exportable``) through
+  shared memory;
+* ``execute(artifact, queries, params) → (partial, counters)`` — one
+  partition pass producing a *partition-local* partial result plus the
+  :class:`~repro.ap.runtime.RuntimeCounters` delta a hardware run would
+  record;
+* ``merge(partials, offsets, params) → result`` — the offset-aware
+  host merge.  Merging must be **associative** and every merged result
+  must itself be a valid partial (with offset 0), which is what lets
+  shard servers pre-merge their local partitions and the remote pool
+  merge across shards without a distinguished root;
+* ``pack/unpack`` — the RPC wire codec for partials/results, built on
+  the same no-pickle array framing as the kNN protocol;
+* ``split(result, lo, hi)`` — row slicing for the batching/admission
+  layer (:class:`~repro.host.batching.BatchRouter`).
+
+Workloads register by name (:func:`register_workload`), mirroring the
+pluggable-extension registry idiom of reinforced_lib's ``BaseExt``:
+built-ins ship registered, and a custom workload is one subclass plus
+one ``register_workload`` call away from thread/process/shm
+parallelism, batching, and remote shards — see ``examples/
+custom_workload.py`` and the README's "Writing a custom workload".
+
+:class:`WorkloadSearch` is the generic engine over any registered
+workload: it partitions the dataset into board-sized slices exactly
+like :class:`~repro.core.engine.APSimilaritySearch`, fans
+:class:`~repro.host.parallel.PartitionTask`\\ s out through
+:func:`~repro.host.parallel.run_partitions` (thread/process backends,
+persistent pools, shm transport, artifact shipping), and merges through
+the workload's own ``merge`` — so sharded/parallel/remote execution is
+bit-identical to a sequential pass by the same associativity argument
+the kNN engine makes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, replace
+
+from ..ap.compiler import BoardImageCache, dataset_digest, partition_cache_key
+from ..ap.device import GEN1, APDeviceSpec
+from ..ap.runtime import REPORT_RECORD_BITS, RuntimeCounters
+from ..host.parallel import (
+    ParallelConfig,
+    PartitionResult,
+    PartitionTask,
+    _ArtifactShuttle,
+    run_partitions,
+)
+from ..util.bitops import hamming_cdist_packed, pack_bits, popcount_u64
+from ..util.topk import merge_ragged_blocks, merge_topk_blocks
+from .macros import MacroConfig, collector_tree_depth
+
+__all__ = [
+    "Workload",
+    "WorkloadSearch",
+    "WorkloadRunResult",
+    "HammingKnnWorkload",
+    "JaccardTopkWorkload",
+    "HammingRangeWorkload",
+    "KnnWorkloadResult",
+    "JaccardWorkloadResult",
+    "RangeWorkloadResult",
+    "register_workload",
+    "get_workload",
+    "available_workloads",
+]
+
+# Pads shared with the kNN engine (kept literal here to avoid an import
+# cycle with core.engine; the parity test pins them equal).
+_PAD_INDEX = -1
+_PAD_DISTANCE = -1
+
+# The paper's workloads pin these board capacities (Table II): 1024
+# vectors per configuration up to d=128, 512 at d=256.
+_DEFAULT_CAPACITY_SMALL_D = 1024
+_DEFAULT_CAPACITY_LARGE_D = 512
+_CAPACITY_D_CUTOFF = 128
+
+
+# -- protocol ---------------------------------------------------------------
+
+
+class Workload(ABC):
+    """One similarity workload's compile→execute→merge contract.
+
+    Subclasses set :attr:`name` (the registry key), :attr:`description`
+    (one line, surfaced by ``repro workloads``), and
+    :attr:`wire_fields` — the ordered array-attribute names of the
+    result dataclass, which drive the default :meth:`pack`/
+    :meth:`unpack`/:meth:`split` implementations.  Partials carry
+    **partition-local** indices; :meth:`merge` re-bases them with the
+    per-partial offsets, and pads must never be offset (the
+    :func:`~repro.util.topk.merge_topk_blocks` guarantee).
+    """
+
+    name: str = ""
+    description: str = ""
+    #: Result-dataclass attribute names, in wire/constructor order.
+    #: Every field is a row-aligned ndarray (axis 0 = query row).
+    wire_fields: tuple[str, ...] = ()
+    #: Constructed by :meth:`unpack` as ``result_type(*arrays)``.
+    result_type: type = tuple
+
+    # -- parameters -------------------------------------------------------
+
+    def validate_params(self, params: dict, n: int, d: int) -> dict:
+        """Normalize request parameters against a dataset's ``(n, d)``.
+
+        Returns a plain-JSON dict (str keys, int/float/str/bool values)
+        — it travels the RPC wire as JSON and becomes part of engine
+        cache keys, so it must be canonical: same request ⇒ same dict.
+        """
+        return {}
+
+    def cache_params(self, params: dict) -> tuple:
+        """The params subset a compiled artifact depends on (for the
+        content-addressed cache key).  Default: none — artifacts for
+        the built-ins depend only on the partition content."""
+        return ()
+
+    # -- the pipeline -----------------------------------------------------
+
+    @abstractmethod
+    def compile(self, dataset_bits: np.ndarray, params: dict):
+        """Compile one partition slice into an executable artifact.
+
+        Artifacts must be picklable (they ship to process workers) and
+        may opt into the zero-copy shared-memory transport by exposing
+        ``shm_exportable = True`` plus an ``nbytes`` property, like
+        :class:`~repro.core.functional.FunctionalKnnBoard`.  They must
+        be position-independent: ``execute`` returns partition-local
+        indices, so identical content compiles to identical artifacts
+        regardless of where the slice sits in the dataset.
+        """
+
+    @abstractmethod
+    def execute(
+        self, artifact, queries_bits: np.ndarray, params: dict
+    ) -> tuple:
+        """One partition pass: ``(partial, counters)``.
+
+        ``partial`` is a :attr:`result_type` with partition-LOCAL
+        indices; ``counters`` is this pass's
+        :class:`~repro.ap.runtime.RuntimeCounters` delta.
+        """
+
+    @abstractmethod
+    def merge(self, partials: list, offsets, params: dict):
+        """Merge partials into one result, re-basing valid indices by
+        the per-partial ``offsets`` (``None`` = already global).
+
+        Must be associative, and the result must itself be a valid
+        partial (mergeable again with offset 0): shard servers pre-merge
+        their partitions and the remote pool merges across shards.
+        """
+
+    @abstractmethod
+    def empty(self, n_q: int, params: dict):
+        """The result of merging nothing: ``n_q`` all-pad rows (the
+        degraded remote path where every shard failed)."""
+
+    # -- host-layer hooks (generic defaults) ------------------------------
+
+    def split(self, result, lo: int, hi: int):
+        """Row-slice a result for one batched caller (views, no copy)."""
+        return self.result_type(
+            *(getattr(result, f)[lo:hi] for f in self.wire_fields)
+        )
+
+    def pack(self, result) -> bytes:
+        """Wire-encode a partial/result: the :attr:`wire_fields` arrays
+        through the RPC codec's whitelisted no-pickle framing."""
+        from ..host.rpc import pack_array
+
+        return b"".join(
+            pack_array(np.asarray(getattr(result, f)))
+            for f in self.wire_fields
+        )
+
+    def unpack(self, payload: bytes, offset: int = 0):
+        """Decode :meth:`pack` output; validation (dtype whitelist,
+        bounded allocation) happens in the codec before any array is
+        materialized.  Rejects trailing bytes."""
+        from ..host.rpc import RpcProtocolError, unpack_array
+
+        arrays = []
+        for _ in self.wire_fields:
+            arr, offset = unpack_array(payload, offset)
+            arrays.append(arr)
+        if offset != len(payload):
+            raise RpcProtocolError("trailing bytes after workload result")
+        return self.result_type(*arrays)
+
+    def execute_task(
+        self, task: PartitionTask, queries_bits: np.ndarray, cache
+    ) -> PartitionResult:
+        """Worker-side entry: run one :class:`~repro.host.parallel.
+        PartitionTask` through compile (cache-aware) + execute.
+
+        Mirrors the kNN worker's cache protocol exactly: in-process
+        callers pass a shared :class:`~repro.ap.compiler.
+        BoardImageCache`; process workers get an artifact shuttle that
+        serves the artifact shipped with the task and captures a fresh
+        build for the return trip, keeping process pools cache-aware
+        through artifact shipping.
+        """
+        params = dict(task.params)
+        key = task.cache_key
+        shuttle = None
+        if key is not None and cache is None:
+            shuttle = _ArtifactShuttle(task.artifact)
+            cache = shuttle
+        artifact = (
+            cache.get(key) if (cache is not None and key is not None) else None
+        )
+        cache_hit = artifact is not None
+        if artifact is None:
+            artifact = self.compile(task.dataset_bits, params)
+            if cache is not None and key is not None:
+                cache.put(key, artifact)
+        partial, counters = self.execute(artifact, queries_bits, params)
+        if cache_hit:
+            counters.image_cache_hits += 1
+        built = shuttle.built if shuttle is not None else None
+        empty = np.empty(0, dtype=np.int64)
+        return PartitionResult(
+            p_idx=task.p_idx,
+            q_idx=empty,
+            codes=empty,
+            cycles=empty,
+            counters=counters,
+            artifact=built,
+            cache_key=key if built is not None else None,
+            payload=partial,
+        )
+
+
+# -- registry ---------------------------------------------------------------
+
+_REGISTRY: dict[str, Workload] = {}
+
+
+def register_workload(workload: Workload, replace: bool = False) -> Workload:
+    """Register a workload instance under its :attr:`~Workload.name`.
+
+    The name is the cross-layer handle: ``PartitionTask.workload``,
+    the RPC request, and the CLI's ``--workload`` all resolve through
+    here — on every process that touches the workload, so custom
+    workloads must be registered (imported) in servers and clients
+    alike.  Re-registering a taken name raises unless ``replace=True``.
+    """
+    if not workload.name:
+        raise ValueError("workload must define a non-empty name")
+    if not replace and workload.name in _REGISTRY:
+        raise ValueError(f"workload {workload.name!r} is already registered")
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def get_workload(name: str) -> Workload:
+    """Look a workload up by registry name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "none"
+        raise KeyError(
+            f"unknown workload {name!r} (registered: {known})"
+        ) from None
+
+
+def available_workloads() -> dict[str, Workload]:
+    """Name → instance for every registered workload (sorted copy)."""
+    return {name: _REGISTRY[name] for name in sorted(_REGISTRY)}
+
+
+# -- built-in: Hamming kNN --------------------------------------------------
+
+
+@dataclass
+class KnnWorkloadResult:
+    """(q, k) top-k blocks — the workload-protocol shape of
+    :class:`~repro.core.engine.KnnResult`'s payload."""
+
+    indices: np.ndarray
+    distances: np.ndarray
+
+
+class HammingKnnWorkload(Workload):
+    """The reference workload: Hamming kNN via counter temporal sort.
+
+    The dedicated :class:`~repro.core.engine.APSimilaritySearch` path
+    keeps its cycle-accurate/functional back-ends and report decoding;
+    this class IS that path's merge (both engines call :meth:`merge`)
+    and, for the generic :class:`WorkloadSearch`/RPC stack, provides
+    compile/execute over the functional board with the same decode —
+    so every route produces bit-identical blocks.
+    """
+
+    name = "knn"
+    description = (
+        "Hamming-distance top-k via counter temporal sort "
+        "(earliest k reports per query ARE the top-k)"
+    )
+    wire_fields = ("indices", "distances")
+    result_type = KnnWorkloadResult
+
+    def validate_params(self, params: dict, n: int, d: int) -> dict:
+        k = int(params.get("k", 10))
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        return {"k": min(k, n)}
+
+    def compile(self, dataset_bits: np.ndarray, params: dict):
+        from .engine import build_functional_board
+        from .stream import StreamLayout
+
+        d = dataset_bits.shape[1]
+        layout = StreamLayout(
+            d, collector_tree_depth(d, MacroConfig().max_fan_in)
+        )
+        return build_functional_board(dataset_bits, layout)
+
+    def execute(self, artifact, queries_bits: np.ndarray, params: dict):
+        from .engine import decode_partition_topk, run_partition_functional_topk
+
+        k = min(int(params["k"]), artifact.n)
+        q_idx, codes, cycles, counters = run_partition_functional_topk(
+            artifact, queries_bits, artifact.layout, start=0, k=k
+        )
+        n_q = queries_bits.shape[0]
+        block = decode_partition_topk(
+            q_idx, codes, cycles, n_q, k, artifact.layout
+        )
+        if block is None:
+            partial = self.empty(n_q, {"k": k})
+        else:
+            partial = KnnWorkloadResult(*block)
+        return partial, counters
+
+    def merge(self, partials: list, offsets, params: dict):
+        blocks = [
+            p if isinstance(p, tuple) else (p.indices, p.distances)
+            for p in partials
+        ]
+        indices, distances = merge_topk_blocks(
+            blocks,
+            int(params["k"]),
+            offsets=offsets,
+            pad_index=_PAD_INDEX,
+            pad_distance=_PAD_DISTANCE,
+        )
+        return KnnWorkloadResult(indices, distances)
+
+    def empty(self, n_q: int, params: dict):
+        k = int(params["k"])
+        return KnnWorkloadResult(
+            np.full((n_q, k), _PAD_INDEX, dtype=np.int64),
+            np.full((n_q, k), _PAD_DISTANCE, dtype=np.int64),
+        )
+
+    def execute_task(
+        self, task: PartitionTask, queries_bits: np.ndarray, cache
+    ) -> PartitionResult:
+        """kNN keeps its PR 1–5 worker path byte for byte: engine tasks
+        (mode ``simulate``/``functional``) run the legacy report-array
+        pipeline; only generic ``mode="workload"`` tasks take the
+        protocol's compile/execute default."""
+        if task.mode == "workload":
+            return super().execute_task(task, queries_bits, cache)
+        from ..host.parallel import _execute_knn_task
+
+        return _execute_knn_task(task, queries_bits, cache)
+
+
+# -- built-in: Jaccard top-k ------------------------------------------------
+
+
+@dataclass
+class JaccardBoardArtifact:
+    """One partition's compiled Jaccard board: packed indicator bits
+    plus per-vector set sizes (|A|, known offline — Section II-C)."""
+
+    packed: np.ndarray  # (n, w) uint64 packed indicator vectors
+    sizes: np.ndarray  # (n,) int64 set sizes |A|
+    d: int
+
+    # Never mutated after compile: safe for read-only zero-copy
+    # shared-memory shipping, like the functional kNN board.
+    shm_exportable = True
+
+    @property
+    def n(self) -> int:
+        return int(self.packed.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.packed.nbytes + self.sizes.nbytes)
+
+
+@dataclass
+class JaccardWorkloadResult:
+    """(q, k) Jaccard top-k: descending similarity, ties by ascending
+    index; pads are ``(-1, -1.0, -1)`` (valid similarities are in
+    [0, 1], so pads always sort last)."""
+
+    indices: np.ndarray  # (q, k) int64
+    similarities: np.ndarray  # (q, k) float64
+    intersections: np.ndarray  # (q, k) int64
+
+
+class JaccardTopkWorkload(Workload):
+    """Top-k Jaccard via intersection temporal sort + host re-rank.
+
+    Functional model of :class:`~repro.core.jaccard.JaccardAPSearch`:
+    similarities are per-vector quantities (independent of
+    partitioning), so partition-local top-k blocks merge into exactly
+    the single-engine answer under the (descending similarity,
+    ascending index) total order.
+    """
+
+    name = "jaccard"
+    description = (
+        "Jaccard-similarity top-k via intersection temporal sort "
+        "+ exact host re-rank"
+    )
+    wire_fields = ("indices", "similarities", "intersections")
+    result_type = JaccardWorkloadResult
+
+    def validate_params(self, params: dict, n: int, d: int) -> dict:
+        k = int(params.get("k", 10))
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        return {"k": min(k, n)}
+
+    def compile(self, dataset_bits: np.ndarray, params: dict):
+        dataset_bits = np.asarray(dataset_bits, dtype=np.uint8)
+        return JaccardBoardArtifact(
+            packed=pack_bits(dataset_bits),
+            sizes=dataset_bits.sum(axis=1).astype(np.int64),
+            d=int(dataset_bits.shape[1]),
+        )
+
+    def execute(self, artifact, queries_bits: np.ndarray, params: dict):
+        queries_bits = np.asarray(queries_bits, dtype=np.uint8)
+        k = min(int(params["k"]), artifact.n)
+        qp = pack_bits(queries_bits)
+        inter = popcount_u64(qp[:, None, :] & artifact.packed[None, :, :]).sum(
+            axis=-1
+        )
+        q_sizes = queries_bits.sum(axis=1).astype(np.int64)
+        union = artifact.sizes[None, :] + q_sizes[:, None] - inter
+        sim = np.ones(inter.shape, dtype=np.float64)
+        nz = union > 0
+        sim[nz] = inter[nz] / union[nz]
+        ids = np.broadcast_to(
+            np.arange(artifact.n, dtype=np.int64), sim.shape
+        )
+        order = np.lexsort((ids, -sim), axis=-1)[:, :k]
+        partial = JaccardWorkloadResult(
+            indices=np.take_along_axis(ids, order, axis=1),
+            similarities=np.take_along_axis(sim, order, axis=1),
+            intersections=np.take_along_axis(inter, order, axis=1),
+        )
+        # Counter accounting for the modeled board: one configuration,
+        # the standard sort-phase stream per query block, one report
+        # per vector per query (the intersection sort reports all n).
+        counters = RuntimeCounters()
+        d = artifact.d
+        block_length = 2 * d + collector_tree_depth(
+            d, MacroConfig().max_fan_in
+        ) + 4
+        n_q = queries_bits.shape[0]
+        counters.configurations += 1
+        counters.symbols_streamed += n_q * block_length
+        counters.reports_received += n_q * artifact.n
+        counters.report_payload_bits += n_q * artifact.n * REPORT_RECORD_BITS
+        return partial, counters
+
+    def merge(self, partials: list, offsets, params: dict):
+        k = int(params["k"])
+        idx_parts, sim_parts, int_parts = [], [], []
+        for bi, p in enumerate(partials):
+            idx = np.asarray(p.indices, dtype=np.int64)
+            if offsets is not None:
+                off = int(offsets[bi])
+                # Re-base valid indices only: a pad must never become
+                # the bogus valid global index offset - 1.
+                idx = np.where(idx != _PAD_INDEX, idx + off, _PAD_INDEX)
+            idx_parts.append(idx)
+            sim_parts.append(np.asarray(p.similarities, dtype=np.float64))
+            int_parts.append(np.asarray(p.intersections, dtype=np.int64))
+        indices = np.concatenate(idx_parts, axis=1)
+        sims = np.concatenate(sim_parts, axis=1)
+        inters = np.concatenate(int_parts, axis=1)
+        # Row-wise (descending similarity, ascending index) order; pad
+        # rows (sim -1.0 < any valid sim in [0, 1]) sort last.
+        order = np.lexsort((indices, -sims), axis=-1)
+        n_q, m = indices.shape
+        k_out = min(k, m) if m else k
+        order = order[:, :k_out]
+        out = JaccardWorkloadResult(
+            indices=np.take_along_axis(indices, order, axis=1),
+            similarities=np.take_along_axis(sims, order, axis=1),
+            intersections=np.take_along_axis(inters, order, axis=1),
+        )
+        if k_out < k:  # fewer candidates than k: pad out to width k
+            pad = self.empty(n_q, {"k": k})
+            for f in self.wire_fields:
+                getattr(pad, f)[:, :k_out] = getattr(out, f)
+            out = pad
+        return out
+
+    def empty(self, n_q: int, params: dict):
+        k = int(params["k"])
+        return JaccardWorkloadResult(
+            np.full((n_q, k), _PAD_INDEX, dtype=np.int64),
+            np.full((n_q, k), -1.0, dtype=np.float64),
+            np.full((n_q, k), -1, dtype=np.int64),
+        )
+
+
+# -- built-in: Hamming range search ----------------------------------------
+
+
+@dataclass
+class RangeBoardArtifact:
+    """One partition's compiled range board: packed dataset bits (the
+    threshold macros need nothing else at execute time)."""
+
+    packed: np.ndarray  # (n, w) uint64
+    d: int
+    n: int
+
+    shm_exportable = True
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.packed.nbytes)
+
+
+@dataclass
+class RangeWorkloadResult:
+    """Ragged per-query hit lists as padded blocks.
+
+    ``indices``/``distances`` are ``(q, M)`` with ``M`` = the widest
+    row's hit count; row ``qi``'s valid entries are its first
+    ``counts[qi]`` columns, sorted ascending by index (report-code
+    order), the rest pads.
+    """
+
+    indices: np.ndarray  # (q, M) int64, pad -1
+    distances: np.ndarray  # (q, M) int64, pad -1
+    counts: np.ndarray  # (q,) int64 valid hits per row
+
+    def to_lists(self) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """The :class:`~repro.core.range_search.RangeSearchResult`
+        view: per-query candidate/distance arrays without pads."""
+        return (
+            [row[:c] for row, c in zip(self.indices, self.counts)],
+            [row[:c] for row, c in zip(self.distances, self.counts)],
+        )
+
+
+class HammingRangeWorkload(Workload):
+    """Report every vector within Hamming distance ``radius``.
+
+    Functional model of :class:`~repro.core.range_search.
+    HammingRangeSearch`'s threshold automata.  Results are ragged —
+    per-query hit counts vary — so the merge is
+    :func:`~repro.util.topk.merge_ragged_blocks`: union of the shards'
+    hits, ascending by global index, pads never offset.
+    """
+
+    name = "range"
+    description = (
+        "Hamming range search: report all vectors within radius r "
+        "(threshold macros, ragged results)"
+    )
+    wire_fields = ("indices", "distances", "counts")
+    result_type = RangeWorkloadResult
+
+    def validate_params(self, params: dict, n: int, d: int) -> dict:
+        if "radius" not in params:
+            raise ValueError("range workload requires a 'radius' parameter")
+        radius = int(params["radius"])
+        if not 0 <= radius < d:
+            raise ValueError(f"radius must be in [0, {d}), got {radius}")
+        return {"radius": radius}
+
+    def compile(self, dataset_bits: np.ndarray, params: dict):
+        dataset_bits = np.asarray(dataset_bits, dtype=np.uint8)
+        return RangeBoardArtifact(
+            packed=pack_bits(dataset_bits),
+            d=int(dataset_bits.shape[1]),
+            n=int(dataset_bits.shape[0]),
+        )
+
+    def execute(self, artifact, queries_bits: np.ndarray, params: dict):
+        queries_bits = np.asarray(queries_bits, dtype=np.uint8)
+        radius = int(params["radius"])
+        dist = hamming_cdist_packed(pack_bits(queries_bits), artifact.packed)
+        hit = dist <= radius
+        counts = hit.sum(axis=1).astype(np.int64)
+        width = int(counts.max(initial=0))
+        n_q = queries_bits.shape[0]
+        indices = np.full((n_q, width), _PAD_INDEX, dtype=np.int64)
+        distances = np.full((n_q, width), _PAD_DISTANCE, dtype=np.int64)
+        # np.nonzero is row-major: each row's hits come out in ascending
+        # column (= dataset index) order, exactly the report-code order
+        # the threshold automata would emit under simultaneous-
+        # activation state-ID resolution.
+        rows, cols = np.nonzero(hit)
+        out_col = np.arange(rows.shape[0], dtype=np.int64) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        indices[rows, out_col] = cols
+        distances[rows, out_col] = dist[rows, cols]
+        partial = RangeWorkloadResult(indices, distances, counts)
+
+        # Counter accounting: one configuration; the shorter range
+        # stream (no sort phase: SOF + d bits + flush + EOF); only
+        # in-radius vectors report — the whole point of the design.
+        counters = RuntimeCounters()
+        block_length = artifact.d + collector_tree_depth(
+            artifact.d, MacroConfig().max_fan_in
+        ) + 4
+        counters.configurations += 1
+        counters.symbols_streamed += n_q * block_length
+        counters.reports_received += int(counts.sum())
+        counters.report_payload_bits += int(counts.sum()) * REPORT_RECORD_BITS
+        return partial, counters
+
+    def merge(self, partials: list, offsets, params: dict):
+        indices, distances, counts = merge_ragged_blocks(
+            [(p.indices, p.distances) for p in partials],
+            offsets=offsets,
+            pad_index=_PAD_INDEX,
+            pad_value=_PAD_DISTANCE,
+        )
+        return RangeWorkloadResult(indices, distances, counts)
+
+    def empty(self, n_q: int, params: dict):
+        return RangeWorkloadResult(
+            np.empty((n_q, 0), dtype=np.int64),
+            np.empty((n_q, 0), dtype=np.int64),
+            np.zeros(n_q, dtype=np.int64),
+        )
+
+
+# -- generic engine ---------------------------------------------------------
+
+
+@dataclass
+class WorkloadRunResult:
+    """A workload search's answer plus the run's execution accounting.
+
+    ``value`` is the workload's own result dataclass; ``indices`` /
+    ``distances`` pass through to it so ``searcher``-shaped consumers
+    (the CLI, the batching layer) work against any workload.
+    """
+
+    workload: str
+    value: object
+    counters: RuntimeCounters
+    n_partitions: int
+    execution: str = "functional"
+    n_workers: int = 1
+    transport: str = "none"
+    ipc_payload_bytes: int | None = None
+    failed_shards: tuple = ()
+
+    @property
+    def indices(self) -> np.ndarray:
+        return self.value.indices
+
+    @property
+    def distances(self):
+        return getattr(self.value, "distances", None)
+
+    @property
+    def k(self) -> int:
+        return int(self.value.indices.shape[1])
+
+    @property
+    def partial(self) -> bool:
+        return bool(self.failed_shards)
+
+
+class WorkloadSearch:
+    """The generic engine: any registered workload over the PR 1–5
+    host stack.
+
+    Partitions the dataset into board-sized slices, compiles each
+    through the workload (cache-aware, content-addressed), executes
+    partitions serially or across a :class:`~repro.host.parallel.
+    ParallelConfig` worker pool (thread/process, persistent pools, shm
+    transport with artifact shipping), and merges through the
+    workload's associative ``merge`` — so results are bit-identical to
+    a single sequential pass for every backend × transport combination.
+    """
+
+    def __init__(
+        self,
+        dataset_bits: np.ndarray,
+        workload: str | Workload,
+        params: dict | None = None,
+        board_capacity: int | None = None,
+        parallel: ParallelConfig | int | None = None,
+        cache: BoardImageCache | int | bool | None = None,
+        device: APDeviceSpec = GEN1,
+    ):
+        from .engine import APSimilaritySearch
+
+        dataset_bits = np.asarray(dataset_bits, dtype=np.uint8)
+        if dataset_bits.ndim != 2 or dataset_bits.shape[0] == 0:
+            raise ValueError("dataset must be a non-empty (n, d) array")
+        if not np.isin(dataset_bits, (0, 1)).all():
+            raise ValueError("dataset must be binary (0/1)")
+        self.workload = (
+            get_workload(workload) if isinstance(workload, str) else workload
+        )
+        self.dataset = dataset_bits
+        self.n, self.d = dataset_bits.shape
+        self.params = self.workload.validate_params(
+            dict(params or {}), self.n, self.d
+        )
+        self._params_items = tuple(sorted(self.params.items()))
+        self.device = device
+        self.parallel = APSimilaritySearch._normalize_parallel(parallel)
+        self.cache = APSimilaritySearch._normalize_cache(cache)
+        if board_capacity is None:
+            board_capacity = (
+                _DEFAULT_CAPACITY_SMALL_D
+                if self.d <= _CAPACITY_D_CUTOFF
+                else _DEFAULT_CAPACITY_LARGE_D
+            )
+        if board_capacity < 1:
+            raise ValueError("board_capacity must be >= 1")
+        self.board_capacity = int(board_capacity)
+        self.partitions = [
+            (start, min(start + self.board_capacity, self.n))
+            for start in range(0, self.n, self.board_capacity)
+        ]
+        self._digests: dict[tuple[int, int], str] = {}
+        # Engine-task compatibility fields (unused by mode="workload"
+        # tasks but required by the PartitionTask dataclass).
+        self._macro_config = MacroConfig()
+        self._collector_depth = collector_tree_depth(
+            self.d, self._macro_config.max_fan_in
+        )
+
+    def _cache_key(self, start: int, end: int) -> tuple:
+        span = (start, end)
+        digest = self._digests.get(span)
+        if digest is None:
+            digest = dataset_digest(self.dataset[start:end])
+            self._digests[span] = digest
+        return partition_cache_key(
+            None,
+            self._macro_config,
+            self.device,
+            extra=("workload", self.workload.name)
+            + self.workload.cache_params(self.params),
+            digest=digest,
+        )
+
+    def _partition_tasks(self) -> list[PartitionTask]:
+        return [
+            PartitionTask(
+                p_idx=p_idx,
+                start=start,
+                end=end,
+                dataset_bits=self.dataset[start:end],
+                mode="workload",
+                d=self.d,
+                collector_depth=self._collector_depth,
+                max_fan_in=self._macro_config.max_fan_in,
+                counter_max_increment=self._macro_config.counter_max_increment,
+                device=self.device,
+                cache_key=(
+                    self._cache_key(start, end)
+                    if self.cache is not None
+                    else None
+                ),
+                workload=self.workload.name,
+                params=self._params_items,
+            )
+            for p_idx, (start, end) in enumerate(self.partitions)
+        ]
+
+    def search(self, queries_bits: np.ndarray) -> WorkloadRunResult:
+        """Run a query batch; merged result over all partitions."""
+        queries_bits = np.asarray(queries_bits, dtype=np.uint8)
+        if queries_bits.ndim == 1:
+            queries_bits = queries_bits[None, :]
+        if queries_bits.shape[1] != self.d:
+            raise ValueError(
+                f"queries have d={queries_bits.shape[1]}, dataset d={self.d}"
+            )
+        if not np.isin(queries_bits, (0, 1)).all():
+            raise ValueError("queries must be binary (0/1)")
+        tasks = self._partition_tasks()
+        run = run_partitions(tasks, queries_bits, self.parallel, cache=self.cache)
+        counters = RuntimeCounters()
+        partials, offsets = [], []
+        for task, res in zip(tasks, run.results):  # both in p_idx order
+            counters.merge(res.counters)
+            if res.payload is not None:
+                partials.append(res.payload)
+                offsets.append(task.start)
+        n_q = queries_bits.shape[0]
+        if partials:
+            value = self.workload.merge(partials, offsets, self.params)
+        else:
+            value = self.workload.empty(n_q, self.params)
+        return WorkloadRunResult(
+            workload=self.workload.name,
+            value=value,
+            counters=counters,
+            n_partitions=len(self.partitions),
+            execution="functional",
+            n_workers=run.n_workers,
+            transport=run.transport,
+            ipc_payload_bytes=run.ipc_payload_bytes,
+        )
+
+    # -- host-layer integration -------------------------------------------
+
+    def split_result(self, result: WorkloadRunResult, lo: int, hi: int):
+        """Row-slice for the batching layer: one caller's rows of a
+        coalesced batch (views into the batch result's arrays)."""
+        return replace(
+            result, value=self.workload.split(result.value, lo, hi)
+        )
+
+    def batched(
+        self,
+        max_batch: int = 256,
+        max_wait_ms: float = 2.0,
+        max_pending: int = 1024,
+    ):
+        """A :class:`~repro.host.batching.BatchRouter` over this engine
+        — same admission semantics as the kNN engines, routed through
+        the workload's ``split``."""
+        from ..host.batching import BatchRouter
+
+        return BatchRouter(
+            self,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            max_pending=max_pending,
+        )
+
+
+# Built-ins register at import: everything that resolves workloads by
+# name (worker processes, shard servers, the CLI) imports this module.
+register_workload(HammingKnnWorkload())
+register_workload(JaccardTopkWorkload())
+register_workload(HammingRangeWorkload())

@@ -87,6 +87,12 @@ class BatchedResult:
     # (the remote fan-out of repro.host.rpc): shards missing from the
     # batch this slice came out of.  Empty for local engines.
     failed_shards: tuple = ()
+    # This caller's full workload-typed result slice, set when the
+    # searcher exposes a ``split_result`` hook (the generic workload
+    # engines): similarities, ragged hit counts, and any other
+    # workload-specific fields live here; ``indices``/``distances``
+    # above stay the common denominator every caller can rely on.
+    result: Any = None
 
     @property
     def partial(self) -> bool:
@@ -246,21 +252,35 @@ class BatchRouter:
                 self.stats.batches += 1
                 self.stats.rows += rows
                 self.stats.max_batch_rows = max(self.stats.max_batch_rows, rows)
+            # Searchers with workload-typed results (WorkloadSearch,
+            # RemoteWorkloadSearch) expose split_result: slicing every
+            # workload field is their job, not this router's.
+            splitter = getattr(self.searcher, "split_result", None)
+            common = dict(
+                k=result.k,
+                counters=result.counters,
+                execution=result.execution,
+                batch_rows=rows,
+                batch_calls=len(batch),
+                failed_shards=tuple(getattr(result, "failed_shards", ())),
+            )
             lo = 0
             for req in batch:
                 hi = lo + req.queries.shape[0]
-                req.result = BatchedResult(
-                    indices=result.indices[lo:hi],
-                    distances=result.distances[lo:hi],
-                    k=result.k,
-                    counters=result.counters,
-                    execution=result.execution,
-                    batch_rows=rows,
-                    batch_calls=len(batch),
-                    failed_shards=tuple(
-                        getattr(result, "failed_shards", ())
-                    ),
-                )
+                if splitter is not None:
+                    sliced = splitter(result, lo, hi)
+                    req.result = BatchedResult(
+                        indices=sliced.indices,
+                        distances=getattr(sliced, "distances", None),
+                        result=sliced,
+                        **common,
+                    )
+                else:
+                    req.result = BatchedResult(
+                        indices=result.indices[lo:hi],
+                        distances=result.distances[lo:hi],
+                        **common,
+                    )
                 lo = hi
         except BaseException as exc:  # engine failure fails the whole batch
             for req in batch:

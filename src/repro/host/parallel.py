@@ -300,6 +300,13 @@ class PartitionTask:
     device: APDeviceSpec = GEN1
     k: int | None = None
     cache_key: tuple | None = None
+    # Which registered workload executes this task (repro.core.workload).
+    # "knn" + mode "simulate"/"functional" is the engine's legacy path;
+    # mode "workload" runs the generic compile/execute protocol.
+    workload: str = "knn"
+    # Workload parameters as sorted (key, value) items — hashable, and
+    # rebuilt into a dict worker-side.
+    params: tuple = ()
     # Prebuilt board artifact shipped *to* a process worker from a warm
     # parent cache (None = build from dataset_bits on a miss).
     artifact: Any = None
@@ -350,6 +357,9 @@ class PartitionResult:
     counters: RuntimeCounters
     artifact: Any = None
     cache_key: tuple | None = None
+    # Generic-workload partial result (mode="workload" tasks); the kNN
+    # report-array path leaves it None and fills q_idx/codes/cycles.
+    payload: Any = None
 
 
 def execute_partition(
@@ -357,27 +367,20 @@ def execute_partition(
 ) -> PartitionResult:
     """Run one partition end to end (worker-side entry point).
 
-    Delegates to the engine's shared per-partition back-ends — the same
-    functions the sequential path calls — so parallel results are
-    bit-identical by construction.  ``cache`` is a
-    :class:`~repro.ap.compiler.BoardImageCache` shared by in-process
-    callers (thread workers, serial fallback); it is consulted/filled
-    only when the task carries a ``cache_key``.  A process worker has
-    no shared cache, but a task carrying a ``cache_key`` still gets an
-    :class:`_ArtifactShuttle`: it serves the artifact shipped with the
-    task (parent-cache hit) and captures a fresh build for the return
-    trip.  Imports are deferred so this module can be imported by
-    :mod:`repro.core.engine` without a circular dependency, and so
-    forked workers resolve them lazily.
+    Resolves shared-memory descriptors, then dispatches through the
+    workload registry: every task executes via its
+    :class:`~repro.core.workload.Workload`'s ``execute_task`` — the
+    kNN workload routes legacy engine tasks to :func:`_execute_knn_task`
+    below (the same back-ends the sequential path calls, so parallel
+    results stay bit-identical by construction), while generic
+    workloads run the protocol's compile/execute default.  ``cache``
+    is a :class:`~repro.ap.compiler.BoardImageCache` shared by
+    in-process callers (thread workers, serial fallback).  Imports are
+    deferred so this module can be imported by :mod:`repro.core.engine`
+    without a circular dependency, and so forked workers resolve them
+    lazily.
     """
-    from ..core.engine import (
-        build_functional_board,
-        run_partition_functional,
-        run_partition_functional_topk,
-        run_partition_simulated,
-    )
-    from ..core.macros import MacroConfig
-    from ..core.stream import StreamLayout
+    from ..core.workload import get_workload
 
     # Shared-memory descriptors resolve to zero-copy read-only views
     # before the back-ends run; the pickle path carries real arrays and
@@ -392,6 +395,26 @@ def execute_partition(
         task = replace(
             task, artifact=import_artifact_shm(task.artifact_shm), artifact_shm=None
         )
+    return get_workload(task.workload).execute_task(task, queries_bits, cache)
+
+
+def _execute_knn_task(
+    task: PartitionTask, queries_bits: np.ndarray, cache=None
+) -> PartitionResult:
+    """The kNN engine's legacy worker body (modes ``simulate`` /
+    ``functional``): shared per-partition back-ends plus the artifact-
+    shuttle cache protocol for process workers.  Kept verbatim from
+    PR 1–5 so the refactor onto the workload protocol changes no
+    behavior on the kNN path.
+    """
+    from ..core.engine import (
+        build_functional_board,
+        run_partition_functional,
+        run_partition_functional_topk,
+        run_partition_simulated,
+    )
+    from ..core.macros import MacroConfig
+    from ..core.stream import StreamLayout
 
     layout = StreamLayout(task.d, task.collector_depth)
     key = task.cache_key

@@ -30,9 +30,21 @@ crosses the network**.  Each frame is::
 
 followed by ``payload length`` bytes.  ndarray payloads travel as
 ``dtype-code, ndim, dims..., raw C-order bytes`` with a whitelist of
-dtypes (uint8 queries, int64 indices/distances) — a malicious or
-corrupt peer can at worst make a request fail validation; nothing on
-the wire is executable and allocations are bounded before they happen.
+dtypes (uint8 queries, int64 indices/distances, float64 similarity
+scores) — a malicious or corrupt peer can at worst make a request fail
+validation; nothing on the wire is executable and allocations are
+bounded before they happen.
+
+Beyond the kNN request (``MSG_SEARCH_REQ``), any workload registered
+with :mod:`repro.core.workload` is servable over the same framing:
+``MSG_WL_SEARCH_REQ`` names the workload and carries its parameters as
+canonical JSON, the reply is the workload's ``pack``\\ ed wire fields,
+and :class:`RemoteWorkloadSearch` fans out/merges through the
+workload's own associative ``merge`` — shard servers pre-merge their
+local partitions, the pool merges across shards.  Servers can restrict
+what they serve with ``workloads=`` (the CLI's ``repro serve
+--workload``); the legacy kNN wire counts as the ``"knn"`` workload for
+admission purposes.
 
 Failure semantics
 -----------------
@@ -55,16 +67,15 @@ of a rack of remote shards.
 
 from __future__ import annotations
 
+import json
 import socket
 import socketserver
 import struct
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
-
-from ..util.topk import merge_topk_blocks
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -76,6 +87,7 @@ __all__ = [
     "RemoteShard",
     "RemoteShardPool",
     "RemoteMultiBoardSearch",
+    "RemoteWorkloadSearch",
     "serve_shard",
 ]
 
@@ -96,11 +108,19 @@ MSG_SEARCH_REQ = 0x03
 MSG_SEARCH = 0x04
 MSG_PING = 0x05
 MSG_PONG = 0x06
+MSG_WL_SEARCH_REQ = 0x07
+MSG_WL_SEARCH = 0x08
 MSG_ERROR = 0x7F
 
-# Wire dtype whitelist: nothing else deserializes.
-_DTYPE_CODES = {"|u1": 1, "<i8": 2}
-_CODE_DTYPES = {1: np.dtype(np.uint8), 2: np.dtype(np.int64)}
+# Wire dtype whitelist: nothing else deserializes.  uint8 queries,
+# int64 indices/distances/counts, float64 similarity scores (the
+# Jaccard workload) — still no object/structured dtypes, ever.
+_DTYPE_CODES = {"|u1": 1, "<i8": 2, "<f8": 3}
+_CODE_DTYPES = {
+    1: np.dtype(np.uint8),
+    2: np.dtype(np.int64),
+    3: np.dtype(np.float64),
+}
 
 _INFO = struct.Struct("!QQQQ")  # n, d, offset, n_partitions
 _SEARCH_REQ = struct.Struct("!Q")  # k
@@ -108,6 +128,9 @@ _SEARCH_REQ = struct.Struct("!Q")  # k
 # report_payload_bits, image_cache_hits; then execution-string length
 _SEARCH_HEAD = struct.Struct("!QQQQQB")
 _ARRAY_HEAD = struct.Struct("!BB")  # dtype code, ndim
+# workload request: name length (u8), params-JSON length (u32);
+# the name, the params, and the packed query array follow
+_WL_REQ_HEAD = struct.Struct("!BI")
 
 
 class RpcProtocolError(ValueError):
@@ -247,6 +270,78 @@ def unpack_search_response(payload: bytes):
     return indices, distances, counters, execution
 
 
+def pack_workload_request(
+    name: str, params: dict, queries_bits: np.ndarray
+) -> bytes:
+    """Encode a generic-workload search request.
+
+    Params travel as canonical JSON (sorted keys, no whitespace) so the
+    same logical request is byte-identical on every client; nothing in
+    it is executable and the server re-validates every field against
+    its own shard before use.
+    """
+    name_b = name.encode("utf-8")
+    if not 1 <= len(name_b) <= 255:
+        raise RpcProtocolError(f"bad workload name {name!r}")
+    params_b = json.dumps(
+        params, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return (
+        _WL_REQ_HEAD.pack(len(name_b), len(params_b))
+        + name_b
+        + params_b
+        + pack_array(np.ascontiguousarray(queries_bits, dtype=np.uint8))
+    )
+
+
+def unpack_workload_request(payload: bytes) -> tuple[str, dict, np.ndarray]:
+    if len(payload) < _WL_REQ_HEAD.size:
+        raise RpcProtocolError("truncated workload request")
+    name_len, params_len = _WL_REQ_HEAD.unpack_from(payload, 0)
+    offset = _WL_REQ_HEAD.size
+    if len(payload) - offset < name_len + params_len:
+        raise RpcProtocolError("truncated workload request fields")
+    try:
+        name = payload[offset : offset + name_len].decode("utf-8")
+        offset += name_len
+        params = json.loads(payload[offset : offset + params_len] or b"{}")
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise RpcProtocolError(f"malformed workload request: {exc}") from exc
+    if not isinstance(params, dict):
+        raise RpcProtocolError("workload params must be a JSON object")
+    offset += params_len
+    queries, end = unpack_array(payload, offset)
+    if end != len(payload):
+        raise RpcProtocolError("trailing bytes after workload request")
+    return name, params, queries
+
+
+def pack_workload_response(result, workload) -> bytes:
+    """Counters + execution tag + the workload's packed wire fields
+    (partition-local merge done server-side; indices stay shard-LOCAL)."""
+    execution = result.execution.encode("utf-8")[:255]
+    head = _SEARCH_HEAD.pack(*_pack_counters(result.counters), len(execution))
+    return head + execution + workload.pack(result.value)
+
+
+def unpack_workload_response(payload: bytes, workload):
+    """Decode one shard's reply: ``(value, counters, execution)`` where
+    ``value`` is the workload's result dataclass (shard-local indices)."""
+    from ..ap.runtime import RuntimeCounters
+
+    if len(payload) < _SEARCH_HEAD.size:
+        raise RpcProtocolError("truncated workload response")
+    fields = _SEARCH_HEAD.unpack_from(payload, 0)
+    counters = RuntimeCounters(*fields[:5])
+    exec_len = fields[5]
+    offset = _SEARCH_HEAD.size
+    if len(payload) - offset < exec_len:
+        raise RpcProtocolError("truncated execution tag")
+    execution = payload[offset : offset + exec_len].decode("utf-8")
+    value = workload.unpack(payload, offset + exec_len)
+    return value, counters, execution
+
+
 # -- server ----------------------------------------------------------------
 
 
@@ -295,6 +390,10 @@ class _ShardRequestHandler(socketserver.BaseRequestHandler):
                 elif msg_type == MSG_SEARCH_REQ:
                     sock.sendall(pack_frame(
                         MSG_SEARCH, server._serve_search(payload)
+                    ))
+                elif msg_type == MSG_WL_SEARCH_REQ:
+                    sock.sendall(pack_frame(
+                        MSG_WL_SEARCH, server._serve_workload_search(payload)
                     ))
                 else:
                     self._send_error(sock, f"unknown message type {msg_type}")
@@ -355,6 +454,7 @@ class ShardServer:
         host: str = "127.0.0.1",
         port: int = 0,
         n_devices: int = 1,
+        workloads: tuple[str, ...] | list[str] | None = None,
         **engine_kwargs,
     ):
         from ..core.engine import APSimilaritySearch
@@ -364,6 +464,15 @@ class ShardServer:
             raise ValueError("shard dataset must be a non-empty (n, d) array")
         if offset < 0:
             raise ValueError("offset must be >= 0")
+        if workloads is not None:
+            from ..core.workload import get_workload
+
+            workloads = tuple(workloads)
+            for wl_name in workloads:
+                get_workload(wl_name)  # fail fast on unknown names
+        # None = serve every registered workload; a tuple is an
+        # admission list ("knn" included covers the legacy wire too).
+        self.workloads = workloads
         self.dataset = dataset_bits
         self.n, self.d = dataset_bits.shape
         self.offset = int(offset)
@@ -373,6 +482,9 @@ class ShardServer:
         self._cache = APSimilaritySearch._normalize_cache(engine_kwargs["cache"])
         self._engine_kwargs["cache"] = self._cache
         self._engines: dict[int, object] = {}
+        # Generic workload engines, keyed (name, sorted params items) —
+        # like the per-k kNN dict, one engine per distinct request shape.
+        self._workload_engines: dict[tuple, object] = {}
         self._engine_lock = threading.Lock()
         self._server = _ThreadingTCPServer(
             (host, port), _ShardRequestHandler, bind_and_activate=True
@@ -411,6 +523,37 @@ class ShardServer:
                 self._engines[k] = engine
             return engine
 
+    def _check_admitted(self, name: str) -> None:
+        if self.workloads is not None and name not in self.workloads:
+            raise ValueError(
+                f"workload {name!r} is not served by this shard "
+                f"(serving: {', '.join(self.workloads)})"
+            )
+
+    def _workload_engine_for(self, name: str, params: dict):
+        """The generic engine serving ``(workload, params)``, built on
+        first use — sharing the server's one compile cache, so distinct
+        parameter values never recompile partition artifacts."""
+        from ..core.workload import WorkloadSearch, get_workload
+
+        workload = get_workload(name)
+        params = workload.validate_params(dict(params), self.n, self.d)
+        key = (name,) + tuple(sorted(params.items()))
+        with self._engine_lock:
+            engine = self._workload_engines.get(key)
+            if engine is None:
+                kwargs = {
+                    kw: self._engine_kwargs[kw]
+                    for kw in ("board_capacity", "parallel", "device")
+                    if kw in self._engine_kwargs
+                }
+                engine = WorkloadSearch(
+                    self.dataset, workload, params,
+                    cache=self._cache, **kwargs,
+                )
+                self._workload_engines[key] = engine
+            return engine
+
     def info(self) -> ShardInfo:
         # Any engine knows the shard's partitioning; only build one
         # (k=1, the cheapest shell) when no search has warmed one yet.
@@ -442,8 +585,22 @@ class ShardServer:
             )
         if queries.dtype != np.uint8:
             raise RpcProtocolError("queries must be uint8")
+        self._check_admitted("knn")  # the legacy wire IS the kNN workload
         result = self._engine_for(k).search(queries)
         return pack_search_response(result)
+
+    def _serve_workload_search(self, payload: bytes) -> bytes:
+        name, params, queries = unpack_workload_request(payload)
+        self._check_admitted(name)
+        if queries.ndim != 2 or queries.shape[1] != self.d:
+            raise RpcProtocolError(
+                f"queries shape {queries.shape} does not match shard d={self.d}"
+            )
+        if queries.dtype != np.uint8:
+            raise RpcProtocolError("queries must be uint8")
+        engine = self._workload_engine_for(name, params)
+        result = engine.search(queries)
+        return pack_workload_response(result, engine.workload)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -491,8 +648,10 @@ class ShardServer:
             self._thread.join(timeout=5.0)
             self._thread = None
         with self._engine_lock:
-            engines, self._engines = self._engines, {}
-        for engine in engines.values():
+            engines = list(self._engines.values())
+            engines += list(self._workload_engines.values())
+            self._engines, self._workload_engines = {}, {}
+        for engine in engines:
             parallel = getattr(engine, "parallel", None)
             if parallel is not None and getattr(parallel, "persistent", False):
                 parallel.close()
@@ -643,6 +802,27 @@ class RemoteShard:
             self._drop_connection()
             raise RemoteShardError(f"shard {self.address}: {exc}") from exc
 
+    def search_workload(
+        self, queries_bits: np.ndarray, workload_name: str, params: dict
+    ):
+        """Shard-local workload run: ``(value, counters, execution)``
+        where ``value`` is the workload's result dataclass carrying
+        shard-LOCAL indices (the pool merge applies offsets)."""
+        from ..core.workload import get_workload
+
+        workload = get_workload(workload_name)
+        payload = pack_workload_request(workload_name, params, queries_bits)
+        resp_type, resp = self._request(MSG_WL_SEARCH_REQ, payload)
+        if resp_type != MSG_WL_SEARCH:
+            raise RemoteShardError(
+                f"shard {self.address}: unexpected response type {resp_type}"
+            )
+        try:
+            return unpack_workload_response(resp, workload)
+        except RpcProtocolError as exc:
+            self._drop_connection()
+            raise RemoteShardError(f"shard {self.address}: {exc}") from exc
+
     def close(self) -> None:
         with self._lock:
             self._drop_connection()
@@ -780,8 +960,8 @@ class RemoteShardPool:
         :class:`~repro.core.multiboard.MultiBoardResult` whose indices
         are global dataset IDs."""
         from ..ap.runtime import RuntimeCounters
-        from ..core.engine import PAD_DISTANCE, PAD_INDEX
         from ..core.multiboard import MultiBoardResult
+        from ..core.workload import get_workload
 
         queries_bits = np.ascontiguousarray(queries_bits, dtype=np.uint8)
         if queries_bits.ndim == 1:
@@ -839,15 +1019,15 @@ class RemoteShardPool:
                 f"{', '.join(failed)}"
             ) from first_error
 
+        # The same offset-aware merge every layer uses, routed through
+        # the kNN reference Workload.
+        workload = get_workload("knn")
         k_total = min(k, self.total_n)
         if blocks:
-            indices, distances = merge_topk_blocks(
-                blocks, k_total, offsets=offsets,
-                pad_index=PAD_INDEX, pad_distance=PAD_DISTANCE,
-            )
+            merged = workload.merge(blocks, offsets, {"k": k_total})
         else:
-            indices = np.full((n_q, k_total), PAD_INDEX, dtype=np.int64)
-            distances = np.full((n_q, k_total), PAD_DISTANCE, dtype=np.int64)
+            merged = workload.empty(n_q, {"k": k_total})
+        indices, distances = merged.indices, merged.distances
         if len(modes) == 1:
             execution = modes.pop()
         else:
@@ -860,6 +1040,119 @@ class RemoteShardPool:
             counters=counters,
             execution=execution,
             n_workers=len(blocks),
+            transport="rpc",
+            failed_shards=tuple(failed),
+        )
+
+    def _shard_workload_batch(
+        self, i: int, queries_bits: np.ndarray, name: str, params: dict
+    ):
+        """One generic-workload fan-out lane; self-healing handshake
+        semantics identical to :meth:`_shard_batch`."""
+        shard = self.shards[i]
+        with self._info_lock:
+            info = self._infos.get(i)
+        if info is None:
+            info = self._admit_info(i, shard.info())
+        return info, shard.search_workload(queries_bits, name, params)
+
+    def search_workload(
+        self,
+        queries_bits: np.ndarray,
+        workload_name: str,
+        params: dict | None = None,
+    ):
+        """Fan one batch of any registered workload out to every shard
+        and merge through the workload's own offset-aware ``merge``.
+
+        Raw user params go to every lane (each shard re-validates
+        against its own ``n``, clipping e.g. ``k`` locally exactly as
+        the legacy path clips at dispatch); the merge params are
+        validated against ``total_n`` only AFTER the fan-out, so a
+        shard whose handshake heals mid-batch widens this very batch.
+        Returns a :class:`~repro.core.workload.WorkloadRunResult` whose
+        value carries global dataset indices.
+        """
+        from ..ap.runtime import RuntimeCounters
+        from ..core.workload import WorkloadRunResult, get_workload
+
+        workload = get_workload(workload_name)
+        queries_bits = np.ascontiguousarray(queries_bits, dtype=np.uint8)
+        if queries_bits.ndim == 1:
+            queries_bits = queries_bits[None, :]
+        if queries_bits.ndim != 2 or queries_bits.shape[1] != self.d:
+            raise ValueError(
+                f"queries must be (q, {self.d}) uint8, got {queries_bits.shape}"
+            )
+        n_q = queries_bits.shape[0]
+        params = dict(params or {})
+        # Early client-side validation for fast failure on malformed
+        # requests (bad radius, k < 1, ...); the post-fan-out validation
+        # below is the one that sizes the merge.
+        workload.validate_params(params, self.total_n, self.d)
+
+        futures = [
+            self._pool.submit(
+                self._shard_workload_batch, i, queries_bits,
+                workload_name, params,
+            )
+            for i in range(len(self.shards))
+        ]
+        partials: list = []
+        offsets: list[int] = []
+        per_shard_partitions: list[int] = []
+        failed: list[str] = []
+        counters = RuntimeCounters()
+        modes: set[str] = set()
+        first_error: Exception | None = None
+        row_field = workload.wire_fields[0]
+        for shard, future in zip(self.shards, futures):
+            try:
+                info, (value, delta, execution) = future.result()
+            except (RemoteShardError, OSError, ValueError) as exc:
+                failed.append(shard.address)
+                if first_error is None:
+                    first_error = exc
+                continue
+            rows = getattr(value, row_field).shape[0]
+            if rows != n_q:
+                failed.append(shard.address)
+                if first_error is None:
+                    first_error = RemoteShardError(
+                        f"shard {shard.address} answered {rows} rows "
+                        f"for a {n_q}-row batch"
+                    )
+                shard.close()  # desynchronized: force a fresh connection
+                continue
+            counters.merge(delta)
+            modes.add(execution)
+            partials.append(value)
+            offsets.append(info.offset)
+            per_shard_partitions.append(info.n_partitions)
+        if failed and not self.allow_partial:
+            raise RemoteShardError(
+                f"{len(failed)}/{len(self.shards)} shard(s) failed: "
+                f"{', '.join(failed)}"
+            ) from first_error
+
+        merge_params = workload.validate_params(
+            params, self.total_n, self.d
+        )
+        if partials:
+            value = workload.merge(partials, offsets, merge_params)
+        else:
+            value = workload.empty(n_q, merge_params)
+        if len(modes) == 1:
+            execution = modes.pop()
+        else:
+            execution = "mixed" if modes else "none"
+        return WorkloadRunResult(
+            workload=workload_name,
+            value=value,
+            counters=counters,
+            n_partitions=sum(per_shard_partitions),
+            execution=execution,
+            n_workers=len(partials),
             transport="rpc",
             failed_shards=tuple(failed),
         )
@@ -954,6 +1247,100 @@ class RemoteMultiBoardSearch:
         self.pool.close()
 
     def __enter__(self) -> "RemoteMultiBoardSearch":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class RemoteWorkloadSearch:
+    """The :class:`~repro.core.workload.WorkloadSearch` surface over a
+    rack of remote shards — any registered workload, same
+    ``search()``/``batched()``/``split_result`` contract as the local
+    generic engine, so the admission layer and the CLI compose
+    unchanged.  Custom workloads must be registered (imported) on the
+    servers too: the name on the wire resolves through each process's
+    own registry.
+    """
+
+    def __init__(
+        self,
+        addresses: list[str] | tuple[str, ...],
+        workload: str,
+        params: dict | None = None,
+        timeout_s: float = 10.0,
+        connect_timeout_s: float = 5.0,
+        retries: int = 1,
+        allow_partial: bool = True,
+    ):
+        from ..core.workload import get_workload
+
+        self.workload = (
+            get_workload(workload) if isinstance(workload, str) else workload
+        )
+        self.params = dict(params or {})
+        self.pool = RemoteShardPool(
+            addresses, timeout_s=timeout_s,
+            connect_timeout_s=connect_timeout_s, retries=retries,
+            allow_partial=allow_partial,
+        )
+        # Fail fast on malformed params (bad radius, k < 1, ...) before
+        # any caller blocks on a fan-out.
+        self.workload.validate_params(
+            dict(self.params), self.pool.total_n, self.pool.d
+        )
+
+    @property
+    def n(self) -> int:
+        """Vectors across handshaken shards (grows as a rack heals)."""
+        return self.pool.total_n
+
+    @property
+    def d(self) -> int:
+        return self.pool.d
+
+    @property
+    def n_shards(self) -> int:
+        return self.pool.n_shards
+
+    def search(self, queries_bits: np.ndarray):
+        queries_bits = np.asarray(queries_bits, dtype=np.uint8)
+        if queries_bits.ndim == 1:
+            queries_bits = queries_bits[None, :]
+        if not np.isin(queries_bits, (0, 1)).all():
+            raise ValueError("queries must be binary (0/1)")
+        return self.pool.search_workload(
+            queries_bits, self.workload.name, self.params
+        )
+
+    def split_result(self, result, lo: int, hi: int):
+        """Row-slice for the batching layer, through the workload's
+        own ``split`` — same hook the local generic engine exposes."""
+        return replace(
+            result, value=self.workload.split(result.value, lo, hi)
+        )
+
+    def batched(
+        self,
+        max_batch: int = 256,
+        max_wait_ms: float = 2.0,
+        max_pending: int = 1024,
+    ):
+        """A :class:`~repro.host.batching.BatchRouter` admission layer
+        in front of the remote workload fan-out."""
+        from .batching import BatchRouter
+
+        return BatchRouter(
+            self,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            max_pending=max_pending,
+        )
+
+    def close(self) -> None:
+        self.pool.close()
+
+    def __enter__(self) -> "RemoteWorkloadSearch":
         return self
 
     def __exit__(self, *exc) -> None:

@@ -20,6 +20,7 @@ __all__ = [
     "merge_topk",
     "merge_topk_batch",
     "merge_topk_blocks",
+    "merge_ragged_blocks",
 ]
 
 
@@ -220,3 +221,76 @@ def merge_topk_blocks(
     return merge_topk_batch(
         indices, distances, k, pad_index=pad_index, pad_distance=pad_distance
     )
+
+
+def merge_ragged_blocks(
+    blocks: list[tuple[np.ndarray, np.ndarray]],
+    offsets: list[int] | np.ndarray | None = None,
+    pad_index: int = -1,
+    pad_value: int = -1,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Offset-aware merge of *variable-cardinality* candidate blocks.
+
+    The ragged sibling of :func:`merge_topk_blocks`: range search (and
+    any other filter-style workload) returns a per-query hit **list**
+    whose length varies by query, carried as padded ``(q, m_i)``
+    ``(indices, values)`` blocks — slots equal to ``pad_index`` are
+    empty.  This merges one such block per shard into a single
+    left-packed block:
+
+    * valid indices re-base into the global ID space (``index +
+      offset``) while pad slots **stay pads** — the same guarantee as
+      :func:`merge_topk_blocks`: a pad must never become the bogus
+      valid global index ``offset + pad_index``;
+    * each output row holds the union of its input rows' valid hits,
+      sorted by ascending global index (the library-wide report-code
+      order), left-packed, and padded with ``(pad_index, pad_value)``
+      to the width of the row with the most hits;
+    * ``values`` (exact distances, similarities, ...) travel with
+      their indices through the same permutation.
+
+    Returns ``(indices, values, counts)``: two ``(q, M)`` int64 arrays
+    (``M`` = max hits over rows, 0 rows allowed) plus the ``(q,)``
+    per-row valid-hit counts.  Merging is associative: merged output
+    blocks are valid inputs for a further merge (with offset 0), so
+    shard trees of any shape produce identical results.
+    """
+    if not blocks:
+        raise ValueError("need at least one candidate block")
+    idx_parts, val_parts = [], []
+    if offsets is not None and len(offsets) != len(blocks):
+        raise ValueError(f"got {len(offsets)} offsets for {len(blocks)} blocks")
+    for bi, (block_idx, block_val) in enumerate(blocks):
+        block_idx = np.atleast_2d(np.asarray(block_idx, dtype=np.int64))
+        block_val = np.atleast_2d(np.asarray(block_val, dtype=np.int64))
+        if block_idx.shape != block_val.shape:
+            raise ValueError(
+                f"block {bi}: indices {block_idx.shape} vs values "
+                f"{block_val.shape}"
+            )
+        if offsets is not None:
+            off = int(offsets[bi])
+            block_idx = np.where(
+                block_idx != pad_index, block_idx + off, pad_index
+            )
+        idx_parts.append(block_idx)
+        val_parts.append(block_val)
+    n_rows = idx_parts[0].shape[0]
+    if any(p.shape[0] != n_rows for p in idx_parts):
+        raise ValueError("blocks disagree on the number of query rows")
+    indices = np.concatenate(idx_parts, axis=1)
+    values = np.concatenate(val_parts, axis=1)
+    valid = indices != pad_index
+    counts = valid.sum(axis=1).astype(np.int64)
+    width = int(counts.max(initial=0))
+    # Row-wise left-pack + ascending-index sort in one argsort pass:
+    # pads key to int64 max so they sink to the right of every valid
+    # index, then the columns beyond the widest row are dropped.
+    keys = np.where(valid, indices, np.iinfo(np.int64).max)
+    order = np.argsort(keys, axis=1, kind="stable")[:, :width]
+    out_idx = np.take_along_axis(indices, order, axis=1)
+    out_val = np.take_along_axis(values, order, axis=1)
+    packed = np.arange(width, dtype=np.int64)[None, :] < counts[:, None]
+    out_idx[~packed] = pad_index
+    out_val[~packed] = pad_value
+    return out_idx, out_val, counts

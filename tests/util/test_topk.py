@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.util.topk import (
     BoundedPriorityQueue,
+    merge_ragged_blocks,
     merge_topk,
     merge_topk_batch,
     topk_from_distances,
@@ -225,3 +226,119 @@ class TestMergeTopkBatch:
     def test_rejects_bad_k(self):
         with pytest.raises(ValueError, match="k must be"):
             merge_topk_batch(np.zeros((1, 2)), np.zeros((1, 2)), 0)
+
+
+class TestMergeRaggedBlocks:
+    """The ragged sibling of merge_topk_blocks: union of hit lists."""
+
+    def test_rebases_and_sorts_ascending(self):
+        b1 = (np.array([[2, 0]]), np.array([[5, 3]]))
+        b2 = (np.array([[1]]), np.array([[7]]))
+        idx, val, counts = merge_ragged_blocks([b1, b2], offsets=[0, 10])
+        assert idx.tolist() == [[0, 2, 11]]
+        assert val.tolist() == [[3, 5, 7]]
+        assert counts.tolist() == [3]
+
+    def test_pads_never_become_offsets(self):
+        # a pad slot in an offset block must stay -1, not become off-1
+        b1 = (np.array([[3, -1]]), np.array([[2, -1]]))
+        idx, val, counts = merge_ragged_blocks([b1], offsets=[100])
+        assert idx.tolist() == [[103]]
+        assert val.tolist() == [[2]]
+        assert counts.tolist() == [1]
+
+    def test_ragged_rows_trim_to_widest(self):
+        b1 = (np.array([[1, 2], [-1, -1]]), np.array([[0, 0], [-1, -1]]))
+        b2 = (np.array([[5, -1], [7, -1]]), np.array([[1, -1], [1, -1]]))
+        idx, val, counts = merge_ragged_blocks([b1, b2])
+        assert idx.shape == (2, 3)
+        assert idx.tolist() == [[1, 2, 5], [7, -1, -1]]
+        assert counts.tolist() == [3, 1]
+
+    def test_zero_width_everywhere(self):
+        b = (np.empty((3, 0), dtype=np.int64), np.empty((3, 0), dtype=np.int64))
+        idx, val, counts = merge_ragged_blocks([b, b], offsets=[0, 5])
+        assert idx.shape == (3, 0)
+        assert counts.tolist() == [0, 0, 0]
+
+    def test_rejects_empty_and_mismatched(self):
+        with pytest.raises(ValueError, match="at least one"):
+            merge_ragged_blocks([])
+        b = (np.zeros((2, 1)), np.zeros((2, 1)))
+        with pytest.raises(ValueError, match="offsets"):
+            merge_ragged_blocks([b], offsets=[0, 1])
+        with pytest.raises(ValueError, match="indices"):
+            merge_ragged_blocks([(np.zeros((2, 2)), np.zeros((2, 1)))])
+        with pytest.raises(ValueError, match="query rows"):
+            merge_ragged_blocks([b, (np.zeros((3, 1)), np.zeros((3, 1)))])
+
+    @staticmethod
+    def _random_block(rng, q, n_block, pad_frac):
+        width = int(rng.integers(0, 6))
+        idx = rng.integers(0, n_block, (q, width)).astype(np.int64)
+        val = rng.integers(0, 9, (q, width)).astype(np.int64)
+        pads = rng.random((q, width)) < pad_frac
+        idx[pads] = -1
+        val[pads] = -1
+        return idx, val
+
+    @given(
+        st.integers(1, 4),  # q
+        st.integers(1, 5),  # blocks
+        st.integers(0, 500),
+        st.floats(0.0, 0.8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_per_row_reference(self, q, n_blocks, seed, pad_frac):
+        rng = np.random.default_rng(seed)
+        blocks = [self._random_block(rng, q, 50, pad_frac)
+                  for _ in range(n_blocks)]
+        offsets = (rng.integers(0, 1000, n_blocks) * 1).tolist()
+        idx, val, counts = merge_ragged_blocks(blocks, offsets=offsets)
+        for qi in range(q):
+            # stable sort on index only: duplicate indices keep the
+            # block-concatenation order, matching the kernel's argsort
+            expected = sorted(
+                (
+                    (int(bi[qi, c]) + off, int(bv[qi, c]))
+                    for (bi, bv), off in zip(blocks, offsets)
+                    for c in range(bi.shape[1])
+                    if bi[qi, c] != -1
+                ),
+                key=lambda pair: pair[0],
+            )
+            got = list(zip(idx[qi, : counts[qi]].tolist(),
+                           val[qi, : counts[qi]].tolist()))
+            assert got == expected
+            assert (idx[qi, counts[qi]:] == -1).all()
+            assert (val[qi, counts[qi]:] == -1).all()
+
+    @given(st.integers(2, 5), st.integers(0, 300),
+           st.randoms(use_true_random=False))
+    @settings(max_examples=40, deadline=None)
+    def test_associative_and_order_invariant(self, n_blocks, seed, rnd):
+        rng = np.random.default_rng(seed)
+        q = 3
+        blocks = [self._random_block(rng, q, 40, 0.3)
+                  for _ in range(n_blocks)]
+        # distinct offsets so the union has no cross-block duplicates
+        # and the merged order is unambiguous
+        offsets = [100 * bi for bi in range(n_blocks)]
+        flat = merge_ragged_blocks(blocks, offsets=offsets)
+
+        cut = max(1, n_blocks // 2)
+        left = merge_ragged_blocks(blocks[:cut], offsets=offsets[:cut])
+        right = merge_ragged_blocks(blocks[cut:], offsets=offsets[cut:])
+        tree = merge_ragged_blocks(
+            [left[:2], right[:2]], offsets=[0, 0]
+        )
+        for a, b in zip(tree, flat):
+            assert (a == b).all()
+
+        order = list(range(n_blocks))
+        rnd.shuffle(order)
+        shuffled = merge_ragged_blocks(
+            [blocks[i] for i in order], offsets=[offsets[i] for i in order]
+        )
+        for a, b in zip(shuffled, flat):
+            assert (a == b).all()
