@@ -32,6 +32,7 @@ Re-baselining (after an intentional perf change)::
     python benchmarks/bench_shm_transport.py     --quick
     python benchmarks/bench_rpc_fanout.py        --quick
     python benchmarks/bench_workloads.py         --quick
+    python benchmarks/bench_dispatch_overhead.py --quick
     python benchmarks/check_regression.py --update
 
 then commit the refreshed ``benchmarks/baselines/`` alongside the
@@ -142,6 +143,21 @@ TRACKED: dict[str, list[Metric]] = {
                kind="lower_better"),
         Metric("rpc_overhead_max",
                lambda d: max(r["rpc_overhead"] for r in d["fanout_sweep"]),
+               kind="lower_better", tolerance=1.50),
+    ],
+    "BENCH_dispatch.json": [
+        Metric("bit_identical",
+               lambda d: all(r["identical"] for r in d["engine"])
+               and all(r["identical"] for r in d["workload_parity"])
+               and d["chunking"]["identical"], kind="bool"),
+        Metric("chunked_dispatch",
+               lambda d: d["chunking"]["chunked"]
+               and d["chunking"]["dispatch_recorded"], kind="bool"),
+        Metric("dispatch_ratio",
+               lambda d: d["dispatch"].get("dispatch_ratio"),
+               tolerance=TIMING_TOLERANCE),
+        Metric("ring_submit_to_start_us",
+               lambda d: d["dispatch"].get("ring_submit_to_start_us"),
                kind="lower_better", tolerance=1.50),
     ],
     "BENCH_workloads.json": [

@@ -72,13 +72,16 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--workers", type=int, default=1,
                    help="worker lanes for sharded partition execution "
                         "(1 = sequential)")
-    s.add_argument("--backend", choices=["process", "thread"],
+    s.add_argument("--backend", choices=["process", "thread", "pinned"],
                    default="process",
                    help="worker pool flavor: processes (true multi-core "
                         "for the cycle simulator; cache-aware via "
-                        "artifact shipping) or threads (functional "
+                        "artifact shipping), threads (functional "
                         "kernels release the GIL; share the board-image "
-                        "cache with the parent directly)")
+                        "cache with the parent directly), or pinned "
+                        "(persistent processes on a shared-memory task "
+                        "ring — process semantics with ~executor-free "
+                        "per-task dispatch; needs working shared memory)")
     s.add_argument("--transport", choices=["auto", "shm", "pickle"],
                    default="auto",
                    help="how process-worker payloads travel: shared-"
@@ -142,7 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(multi-board scale-out within the shard)")
     v.add_argument("--workers", type=int, default=1,
                    help="worker lanes for the shard's partition execution")
-    v.add_argument("--backend", choices=["process", "thread"],
+    v.add_argument("--backend", choices=["process", "thread", "pinned"],
                    default="process")
     v.add_argument("--transport", choices=["auto", "shm", "pickle"],
                    default="auto")

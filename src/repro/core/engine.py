@@ -266,6 +266,10 @@ class KnnResult:
     # Parent->worker submission bytes, recorded only under
     # ParallelConfig(measure_ipc=True).
     ipc_payload_bytes: int | None = None
+    # Mean per-task submit->start dispatch latency of the parallel run
+    # (None for sequential/serial execution) — the observable the
+    # pinned backend exists to shrink.
+    dispatch_overhead_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.k < 0:
@@ -451,6 +455,7 @@ class APSimilaritySearch:
         n_workers_used = 1
         transport = "none"
         ipc_payload_bytes = None
+        dispatch_overhead_s = None
         if self.parallel.effective_workers > 1 and len(self.partitions) > 1:
             run = run_partitions(
                 self._partition_tasks(mode),
@@ -461,6 +466,7 @@ class APSimilaritySearch:
             n_workers_used = run.n_workers
             transport = run.transport
             ipc_payload_bytes = run.ipc_payload_bytes
+            dispatch_overhead_s = run.dispatch_overhead_s
             for res in run.results:  # sorted by partition index
                 counters.merge(res.counters)
                 block = self._decode_partition(res.q_idx, res.codes, res.cycles, n_q)
@@ -505,6 +511,7 @@ class APSimilaritySearch:
             n_workers=n_workers_used,
             transport=transport,
             ipc_payload_bytes=ipc_payload_bytes,
+            dispatch_overhead_s=dispatch_overhead_s,
         )
 
     # -- admission / batching ---------------------------------------------

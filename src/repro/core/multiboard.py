@@ -97,6 +97,9 @@ class MultiBoardResult:
     # ParallelConfig(measure_ipc=True), the submitted payload bytes.
     transport: str = "none"
     ipc_payload_bytes: int | None = None
+    # Mean per-task submit->start dispatch latency of the parallel run
+    # (None when the run was serial or remote).
+    dispatch_overhead_s: float | None = None
     # Remote fan-out degradation accounting: addresses of shards that
     # failed to answer the batch (always empty for local execution —
     # a local device either answers or raises).
@@ -256,6 +259,7 @@ class MultiBoardSearch:
             n_workers=run.n_workers,
             transport=run.transport,
             ipc_payload_bytes=run.ipc_payload_bytes,
+            dispatch_overhead_s=run.dispatch_overhead_s,
         )
 
     def batched(

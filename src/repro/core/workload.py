@@ -683,6 +683,9 @@ class WorkloadRunResult:
     n_workers: int = 1
     transport: str = "none"
     ipc_payload_bytes: int | None = None
+    # Mean per-task submit->start dispatch latency of the parallel run
+    # (None when the run was serial).
+    dispatch_overhead_s: float | None = None
     failed_shards: tuple = ()
 
     @property
@@ -838,6 +841,7 @@ class WorkloadSearch:
             n_workers=run.n_workers,
             transport=run.transport,
             ipc_payload_bytes=run.ipc_payload_bytes,
+            dispatch_overhead_s=run.dispatch_overhead_s,
         )
 
     # -- host-layer integration -------------------------------------------

@@ -432,7 +432,9 @@ class ShardServer:
     :class:`~repro.ap.compiler.BoardImageCache` so partition artifacts
     compile once regardless of how many distinct ``k`` values clients
     request), a :class:`~repro.host.parallel.ParallelConfig` for local
-    fan-out (including the PR 4 shared-memory transport), and
+    fan-out (including the PR 4 shared-memory transport and the pinned
+    ring backend — ``repro serve --backend pinned`` keeps persistent
+    ring workers hot across requests), and
     optionally multiple local boards (``n_devices > 1`` builds a
     :class:`~repro.core.multiboard.MultiBoardSearch` per ``k``).
 

@@ -507,3 +507,94 @@ class TestProcessCacheShipback:
         warm = eng.search(queries)
         assert warm.counters.image_cache_hits == warm.n_partitions
         assert not builds
+
+
+class TestChunkedDispatch:
+    """The stock process backend amortizes dispatch: task lists larger
+    than the worker count ride one executor.submit per worker chunk."""
+
+    def _tasks(self, data, cap, mode="functional"):
+        from repro.core.macros import collector_tree_depth
+
+        d = data.shape[1]
+        depth = collector_tree_depth(d, 16)
+        return [
+            PartitionTask(
+                p_idx=i, start=s, end=min(s + cap, data.shape[0]),
+                dataset_bits=data[s : min(s + cap, data.shape[0])],
+                mode=mode, d=d, collector_depth=depth,
+                max_fan_in=16, counter_max_increment=1,
+            )
+            for i, s in enumerate(range(0, data.shape[0], cap))
+        ]
+
+    def test_chunk_bounds_balanced_and_complete(self):
+        from repro.host.parallel import _chunk_bounds
+
+        for n_items in (1, 2, 5, 7, 12, 100):
+            for n_chunks in (1, 2, 3, 5):
+                bounds = _chunk_bounds(n_items, n_chunks)
+                assert bounds[0] == 0 and bounds[-1] == n_items
+                sizes = [b - a for a, b in zip(bounds, bounds[1:])]
+                assert all(s >= 0 for s in sizes)
+                assert max(sizes) - min(s for s in sizes if s) <= 1
+
+    def test_chunked_process_run_bit_identical(self):
+        data, queries = _workload(n=72, d=16, n_queries=4)
+        tasks = self._tasks(data, cap=8)  # 9 tasks >> 2 workers
+        assert len(tasks) > 2
+        serial = run_partitions(tasks, queries, ParallelConfig(backend="serial"))
+        chunked = run_partitions(
+            tasks, queries, ParallelConfig(n_workers=2, backend="process")
+        )
+        assert chunked.n_workers == 2
+        # one submission per worker chunk, not per task
+        assert chunked.queue_depth == 2
+        for rs, rp in zip(serial.results, chunked.results):
+            assert np.array_equal(rs.codes, rp.codes)
+            assert np.array_equal(rs.cycles, rp.cycles)
+            assert rs.counters == rp.counters
+
+    def test_per_task_submits_when_tasks_fit_workers(self):
+        data, queries = _workload(n=24, d=16, n_queries=3)
+        tasks = self._tasks(data, cap=12)  # 2 tasks, 2 workers
+        report = run_partitions(
+            tasks, queries, ParallelConfig(n_workers=2, backend="process")
+        )
+        assert report.queue_depth == len(tasks)
+
+    def test_chunked_run_reports_dispatch_overhead(self):
+        data, queries = _workload(n=72, d=16, n_queries=3)
+        tasks = self._tasks(data, cap=8)
+        report = run_partitions(
+            tasks, queries, ParallelConfig(n_workers=2, backend="process")
+        )
+        assert report.dispatch_overhead_s is not None
+        assert report.dispatch_overhead_s >= 0.0
+
+
+class TestDispatchAccountingBackends:
+    def test_thread_backend_reports_dispatch(self):
+        data, queries = _workload()
+        tasks = TestChunkedDispatch()._tasks(data, 12)
+        run = run_partitions(
+            tasks, queries, ParallelConfig(n_workers=2, backend="thread")
+        )
+        assert run.dispatch_overhead_s is not None
+        assert run.dispatch_overhead_s >= 0.0
+        assert run.queue_depth == len(tasks)
+
+    def test_serial_reports_no_dispatch(self):
+        data, queries = _workload()
+        run = run_partitions(
+            TestChunkedDispatch()._tasks(data, 12),
+            queries,
+            ParallelConfig(backend="serial"),
+        )
+        assert run.dispatch_overhead_s is None
+        assert run.queue_depth == 0
+
+    def test_pinned_backend_validates(self):
+        cfg = ParallelConfig(n_workers=4, backend="pinned")
+        assert cfg.effective_workers == 4
+        assert not cfg.shares_memory
