@@ -33,6 +33,7 @@ Re-baselining (after an intentional perf change)::
     python benchmarks/bench_rpc_fanout.py        --quick
     python benchmarks/bench_workloads.py         --quick
     python benchmarks/bench_dispatch_overhead.py --quick
+    python benchmarks/bench_dataset_stores.py    --quick
     python benchmarks/check_regression.py --update
 
 then commit the refreshed ``benchmarks/baselines/`` alongside the
@@ -159,6 +160,19 @@ TRACKED: dict[str, list[Metric]] = {
         Metric("ring_submit_to_start_us",
                lambda d: d["dispatch"].get("ring_submit_to_start_us"),
                kind="lower_better", tolerance=1.50),
+    ],
+    "BENCH_dataset.json": [
+        Metric("bit_identical",
+               lambda d: all(r["identical"] for r in d["parity"])
+               and d["ipc"]["array"]["identical"]
+               and d["ipc"]["mmap"]["identical"], kind="bool"),
+        Metric("pds_rejects_corruption",
+               lambda d: d["format_rejection"]["all_rejected"], kind="bool"),
+        Metric("ipc_payload_cut",
+               lambda d: d["ipc"].get("payload_cut")),
+        # None off Linux (ru_maxrss semantics differ) — _evaluate skips.
+        Metric("mmap_rss_within_budget",
+               lambda d: d["rss"]["within_budget"], kind="bool"),
     ],
     "BENCH_workloads.json": [
         Metric("bit_identical",

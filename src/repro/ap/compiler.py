@@ -322,13 +322,30 @@ def import_artifact_shm(descriptor: Any) -> Any:
     return load_pickled(descriptor)
 
 
+# Hash the payload in bounded row chunks so digesting an mmap-backed
+# partition (repro.core.dataset.MmapStore) faults in at most this many
+# bytes at once instead of materializing the whole payload.
+_DIGEST_CHUNK_BYTES = 1 << 22
+
+
 def dataset_digest(dataset_bits: np.ndarray) -> str:
-    """Content hash of a binary partition (shape-disambiguated)."""
-    dataset_bits = np.ascontiguousarray(dataset_bits, dtype=np.uint8)
+    """Content hash of a binary partition (shape-disambiguated).
+
+    Streams the rows through sha1 in bounded chunks, so the digest of
+    a file-backed (mmap) partition never materializes the payload in
+    RAM.  The value is byte-identical to hashing ``shape + raw bytes``
+    in one shot — mmap and in-memory copies of the same data share
+    compile-cache entries.
+    """
+    dataset_bits = np.asarray(dataset_bits, dtype=np.uint8)
+    n, d = dataset_bits.shape
     h = hashlib.sha1()
-    h.update(np.int64(dataset_bits.shape[0]).tobytes())
-    h.update(np.int64(dataset_bits.shape[1]).tobytes())
-    h.update(dataset_bits.tobytes())
+    h.update(np.int64(n).tobytes())
+    h.update(np.int64(d).tobytes())
+    rows_per_chunk = max(1, _DIGEST_CHUNK_BYTES // max(1, d))
+    for lo in range(0, n, rows_per_chunk):
+        chunk = np.ascontiguousarray(dataset_bits[lo : lo + rows_per_chunk])
+        h.update(chunk.data)
     return h.hexdigest()
 
 

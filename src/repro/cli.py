@@ -9,6 +9,10 @@ Downstream-user entry points over the library's main flows:
 * ``serve`` — expose one shard of a dataset as a network shard
   service (``repro.host.rpc.ShardServer``), optionally restricted to
   named workloads;
+* ``pack`` — convert a dataset into the mmap-able ``.pds`` packed-
+  shard format (``repro.core.dataset``); ``search``/``serve`` accept
+  ``.pds`` paths anywhere they accept ``.npy``, serving file-backed
+  shards without loading the payload into RAM;
 * ``workloads`` — list the registered workloads;
 * ``compile`` — PCRE -> ANML compilation (the AP programming model);
 * ``simulate`` — run an ANML file against an input file and print the
@@ -35,8 +39,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     s = sub.add_parser("search", help="kNN search over a binary .npy dataset")
     s.add_argument("dataset", help=".npy uint8 array of shape (n, d), values "
-                              "0/1; pass '-' with --remote (the rack holds "
-                              "the data)")
+                              "0/1, or a .pds packed shard (mmap-served, "
+                              "see `repro pack`); pass '-' with --remote "
+                              "(the rack holds the data)")
     s.add_argument("queries", help=".npy uint8 array of shape (q, d)")
     s.add_argument("--remote", default=None, metavar="HOST:PORT,...",
                    help="comma-separated shard-server addresses: fan the "
@@ -124,7 +129,9 @@ def build_parser() -> argparse.ArgumentParser:
     v = sub.add_parser("serve", help="serve one dataset shard over TCP "
                                      "(network-transparent shard service)")
     v.add_argument("dataset", help=".npy uint8 array of shape (n, d), "
-                              "values 0/1 — the FULL dataset; --shard "
+                              "values 0/1, or a .pds packed shard (served "
+                              "from disk via mmap without loading the "
+                              "payload) — the FULL dataset; --shard "
                               "selects this server's balanced slice")
     v.add_argument("--shard", default="0/1", metavar="I/N",
                    help="serve balanced shard I of N (default 0/1 = the "
@@ -164,6 +171,21 @@ def build_parser() -> argparse.ArgumentParser:
                         "registered workload. The legacy kNN wire counts "
                         "as 'knn' for admission")
 
+    g = sub.add_parser("pack", help="pack a dataset into the mmap-able "
+                                    ".pds shard format")
+    g.add_argument("src", help=".npy uint8 (n, d) binary array — or an "
+                              "existing .pds to re-shard/inspect")
+    g.add_argument("out", nargs="?", default=None,
+                   help="output .pds path (default: src with a .pds "
+                        "suffix; required when src is already .pds "
+                        "unless --info)")
+    g.add_argument("--shard", default=None, metavar="I/N",
+                   help="pack only balanced shard I of N — provisioning "
+                        "a shard host becomes copying just its slice")
+    g.add_argument("--info", action="store_true",
+                   help="print the validated .pds header of SRC and exit "
+                        "(no output file)")
+
     sub.add_parser("workloads",
                    help="list registered workloads (the --workload names)")
 
@@ -183,6 +205,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("tables", help="print the paper's Table I / II registries")
     return p
+
+
+def _load_dataset(path: str):
+    """A search/serve ``dataset`` argument as an engine-ready object:
+    ``.pds`` opens as a file-backed handle (mmap, payload never loads),
+    anything else loads as a uint8 ndarray."""
+    from repro.core.dataset import PDS_SUFFIX, PackedDataset
+
+    if path.endswith(PDS_SUFFIX):
+        return PackedDataset.open(path)
+    return np.load(path).astype(np.uint8)
 
 
 def _cache_from_args(args):
@@ -219,7 +252,7 @@ def _cmd_search(args) -> int:
         print(f"error: --devices must be >= 1, got {args.devices}",
               file=sys.stderr)
         return 2
-    dataset = np.load(args.dataset)
+    dataset = _load_dataset(args.dataset)
     queries = np.load(args.queries)
     if args.devices > dataset.shape[0]:
         print(f"error: --devices ({args.devices}) exceeds the dataset's "
@@ -241,11 +274,9 @@ def _cmd_search(args) -> int:
     )
     queries = queries.astype(np.uint8)
     if args.devices > 1:
-        engine = MultiBoardSearch(
-            dataset.astype(np.uint8), n_devices=args.devices, **common
-        )
+        engine = MultiBoardSearch(dataset, n_devices=args.devices, **common)
     else:
-        engine = APSimilaritySearch(dataset.astype(np.uint8), **common)
+        engine = APSimilaritySearch(dataset, **common)
 
     if args.batch > 0:
         indices, distances, counters, k, _failed = _batched_search(
@@ -402,7 +433,7 @@ def _workload_search(args) -> int:
         print("error: dataset '-' is only valid with --remote",
               file=sys.stderr)
         return 2
-    dataset = np.load(args.dataset).astype(np.uint8)
+    dataset = _load_dataset(args.dataset)
     queries = np.load(args.queries).astype(np.uint8)
     try:
         engine = WorkloadSearch(
@@ -500,6 +531,63 @@ def _cmd_workloads(args) -> int:
     return 0
 
 
+def _cmd_pack(args) -> int:
+    from repro.core.dataset import (
+        PDS_SUFFIX,
+        DatasetFormatError,
+        PackedDataset,
+        read_pds_header,
+        write_pds,
+    )
+
+    if args.info:
+        try:
+            hdr = read_pds_header(args.src)
+        except DatasetFormatError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        payload_mib = hdr.payload_nbytes / (1 << 20)
+        print(f"{args.src}: .pds v{hdr.version}, n={hdr.n}, d={hdr.d}, "
+              f"payload={hdr.payload_nbytes} bytes ({payload_mib:.1f} MiB) "
+              f"at offset {hdr.payload_offset}, digest={hdr.digest}")
+        return 0
+    out = args.out
+    if out is None:
+        if args.src.endswith(PDS_SUFFIX):
+            print("error: packing a .pds onto itself — pass an explicit "
+                  "output path (or --info to inspect)", file=sys.stderr)
+            return 2
+        root = args.src[:-4] if args.src.endswith(".npy") else args.src
+        out = root + PDS_SUFFIX
+    try:
+        dataset = PackedDataset.ensure(_load_dataset(args.src))
+    except (DatasetFormatError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.shard is not None:
+        try:
+            shard_index, _, n_shards = args.shard.partition("/")
+            shard_index, n_shards = int(shard_index), int(n_shards)
+        except ValueError:
+            print(f"error: --shard must be I/N, got {args.shard!r}",
+                  file=sys.stderr)
+            return 2
+        if not 0 <= shard_index < n_shards or n_shards > dataset.n:
+            print(f"error: --shard needs 0 <= I < N <= n ({dataset.n}), "
+                  f"got {args.shard}", file=sys.stderr)
+            return 2
+        from repro.core.multiboard import balanced_shard_bounds
+
+        bounds = balanced_shard_bounds(dataset.n, n_shards)
+        dataset = dataset.slice_rows(
+            int(bounds[shard_index]), int(bounds[shard_index + 1])
+        )
+    hdr = write_pds(out, dataset)
+    print(f"# packed {hdr.n} x {hdr.d} ({hdr.payload_nbytes} payload "
+          f"bytes) -> {out}, digest={hdr.digest}")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from repro.ap.compiler import BoardImageCache
     from repro.ap.device import GEN1, GEN2
@@ -522,7 +610,7 @@ def _cmd_serve(args) -> int:
         except KeyError as exc:
             print(f"error: {exc.args[0]}", file=sys.stderr)
             return 2
-    dataset = np.load(args.dataset).astype(np.uint8)
+    dataset = _load_dataset(args.dataset)
     if not 0 <= shard_index < n_shards:
         print(f"error: --shard needs 0 <= I < N, got {args.shard}",
               file=sys.stderr)
@@ -673,6 +761,7 @@ def main(argv: list[str] | None = None) -> int:
     handler = {
         "search": _cmd_search,
         "serve": _cmd_serve,
+        "pack": _cmd_pack,
         "workloads": _cmd_workloads,
         "compile": _cmd_compile,
         "simulate": _cmd_simulate,

@@ -5,6 +5,13 @@ codec (Fig. 2c / Fig. 3), the exact functional model, and the top-level
 :class:`APSimilaritySearch` engine with partial reconfiguration.
 """
 
+from .dataset import (
+    DatasetFormatError,
+    DatasetSliceRef,
+    PackedDataset,
+    read_pds_header,
+    write_pds,
+)
 from .engine import APSimilaritySearch, KnnResult
 from .images import ImageManifest, export_image_library, load_image_library
 from .index_automata import IndexGatedSearch
@@ -31,6 +38,11 @@ from .stream import (
 __all__ = [
     "APSimilaritySearch",
     "KnnResult",
+    "DatasetFormatError",
+    "DatasetSliceRef",
+    "PackedDataset",
+    "read_pds_header",
+    "write_pds",
     "ImageManifest",
     "export_image_library",
     "load_image_library",

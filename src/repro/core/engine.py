@@ -44,13 +44,13 @@ import numpy as np
 from ..ap.compiler import (
     APCompiler,
     BoardImageCache,
-    dataset_digest,
     partition_cache_key,
 )
 from ..ap.device import APDeviceSpec, GEN1
 from ..ap.runtime import APRuntime, REPORT_RECORD_BITS, RuntimeCounters
 from ..host.parallel import ParallelConfig, PartitionTask, run_partitions
 from ..perf.models import APModel
+from .dataset import PackedDataset
 from .functional import FunctionalKnnBoard
 from .macros import MacroConfig, build_knn_network, collector_tree_depth
 from .stream import StreamLayout, decode_report_offsets, encode_query_batch
@@ -338,18 +338,17 @@ class APSimilaritySearch:
         parallel: ParallelConfig | int | None = None,
         cache: BoardImageCache | int | bool | None = None,
     ):
-        dataset_bits = np.asarray(dataset_bits, dtype=np.uint8)
-        if dataset_bits.ndim != 2 or dataset_bits.shape[0] == 0:
-            raise ValueError("dataset must be a non-empty (n, d) array")
-        if not np.isin(dataset_bits, (0, 1)).all():
-            raise ValueError("dataset must be binary (0/1)")
+        # Any dataset-shaped input — ndarray, PackedDataset handle, or
+        # a .pds path — normalizes to one store-backed handle; all
+        # partition slicing, digesting, and shipping below goes through
+        # it, so in-memory, shm, and mmap datasets take the same paths.
+        self.dataset = PackedDataset.ensure(dataset_bits)
         if k < 1:
             raise ValueError("k must be >= 1")
         if execution not in ("simulate", "functional", "auto"):
             raise ValueError(f"unknown execution mode {execution!r}")
 
-        self.dataset = dataset_bits
-        self.n, self.d = dataset_bits.shape
+        self.n, self.d = self.dataset.shape
         self.requested_k = int(k)
         self.k = int(min(k, self.n))
         self.device = device
@@ -369,10 +368,6 @@ class APSimilaritySearch:
             (start, min(start + self.board_capacity, self.n))
             for start in range(0, self.n, self.board_capacity)
         ]
-        # Memoized per-partition content digests: the dataset is fixed
-        # at construction, so cache-key hashing happens at most once
-        # per partition, not once per search.
-        self._digests: dict[tuple[int, int], str] = {}
 
     @staticmethod
     def _normalize_parallel(
@@ -552,12 +547,24 @@ class APSimilaritySearch:
         multi-board layer) keeps them globally ordered.
         """
         flavor = "image" if mode == "simulate" else "functional"
+        # Store-backed datasets (mmap/shm) ship descriptor-sized slice
+        # refs — workers attach the store themselves — with an empty
+        # stub where the array slice would go; in-memory datasets keep
+        # shipping real views through the existing transports.
+        stub = np.empty((0, self.d), dtype=np.uint8)
+        refs = [
+            self.dataset.slice_ref(start, end) for start, end in self.partitions
+        ]
         return [
             PartitionTask(
                 p_idx=p_base + p_idx,
                 start=start,
                 end=end,
-                dataset_bits=self.dataset[start:end],
+                dataset_bits=(
+                    stub if refs[p_idx] is not None
+                    else self.dataset.rows(start, end)
+                ),
+                dataset_slice=refs[p_idx],
                 mode=mode,
                 d=self.d,
                 collector_depth=self.layout.collector_depth,
@@ -576,14 +583,12 @@ class APSimilaritySearch:
 
     def _cache_key(self, start: int, end: int, flavor: str) -> tuple:
         """Content-addressed key: no positional component, so identical
-        partition content shares entries across engines and offsets."""
-        span = (start, end)
-        digest = self._digests.get(span)
-        if digest is None:
-            digest = dataset_digest(self.dataset[start:end])
-            self._digests[span] = digest
+        partition content shares entries across engines and offsets —
+        and the handle's streaming digest is store-independent, so an
+        mmap dataset shares compiled boards with an in-memory copy."""
         return partition_cache_key(
-            None, self.macro_config, self.device, extra=(flavor,), digest=digest
+            None, self.macro_config, self.device, extra=(flavor,),
+            digest=self.dataset.partition_digest(start, end),
         )
 
     def _run_simulated(self, queries, start, end, counters):
@@ -593,11 +598,12 @@ class APSimilaritySearch:
             else None
         )
         q_idx, codes, cycles, delta = run_partition_simulated(
-            self.dataset[start:end], queries, self.layout,
+            self.dataset.rows(start, end), queries, self.layout,
             self.macro_config, self.device, start, end,
             cache=self.cache, cache_key=key,
         )
         counters.merge(delta)
+        self.dataset.release(start, end)
         return q_idx, codes, cycles
 
     def _run_functional(self, queries, start, end, counters):
@@ -609,13 +615,19 @@ class APSimilaritySearch:
             if board is not None:
                 counters.image_cache_hits += 1
         if board is None:
-            board = build_functional_board(self.dataset[start:end], self.layout)
+            board = build_functional_board(
+                self.dataset.rows(start, end), self.layout
+            )
             if self.cache is not None:
                 self.cache.put(key, board)
         q_idx, codes, cycles, delta = run_partition_functional_topk(
             board, queries, self.layout, start, self.k
         )
         counters.merge(delta)
+        # Out-of-core discipline: the compiled board owns its packed
+        # copy now, so this partition's raw mmap pages can go back to
+        # the page cache — sequential RSS stays one partition deep.
+        self.dataset.release(start, end)
         return q_idx, codes, cycles
 
     # -- decoding ----------------------------------------------------------

@@ -54,6 +54,7 @@ from ..ap.compiler import BoardImageCache
 from ..ap.device import APDeviceSpec, GEN1
 from ..ap.runtime import RuntimeCounters
 from ..host.parallel import ParallelConfig, PartitionTask, run_partitions
+from .dataset import PackedDataset
 from .engine import APSimilaritySearch, decode_partition_topk
 from .macros import MacroConfig
 from .workload import get_workload
@@ -160,14 +161,18 @@ class MultiBoardSearch:
         parallel: ParallelConfig | int | None = None,
         cache: BoardImageCache | int | bool | None = None,
     ):
-        dataset_bits = np.asarray(dataset_bits, dtype=np.uint8)
-        if dataset_bits.ndim != 2 or dataset_bits.shape[0] == 0:
-            raise ValueError("dataset must be a non-empty (n, d) array")
+        # The handle normalizes ndarray / PackedDataset / .pds-path
+        # inputs; per-device shards below are zero-copy sub-windows of
+        # the same store (a file-backed dataset partitions across
+        # devices without ever loading), and the shard bounds derive
+        # from the handle's own row count — multi-board sharding can't
+        # disagree with the store's actual length.
+        self.dataset = PackedDataset.ensure(dataset_bits)
         if n_devices < 1:
             raise ValueError("need at least one device")
-        if n_devices > dataset_bits.shape[0]:
+        if n_devices > self.dataset.n:
             raise ValueError("more devices than dataset vectors")
-        self.n, self.d = dataset_bits.shape
+        self.n, self.d = self.dataset.shape
         self.k = min(int(k), self.n)
         self.n_devices = int(n_devices)
         self.device = device
@@ -176,11 +181,11 @@ class MultiBoardSearch:
 
         # balanced contiguous shards; engines keep shard-local IDs and
         # the offset-aware merge re-bases them to global IDs
-        bounds = balanced_shard_bounds(self.n, self.n_devices)
+        bounds = balanced_shard_bounds(self.dataset.n, self.n_devices)
         self._shard_offsets = bounds[:-1]
         self._engines: list[APSimilaritySearch] = []
         for di in range(self.n_devices):
-            shard = dataset_bits[bounds[di] : bounds[di + 1]]
+            shard = self.dataset.slice_rows(bounds[di], bounds[di + 1])
             engine = APSimilaritySearch(
                 shard,
                 k=self.k,

@@ -52,7 +52,7 @@ import numpy as np
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, replace
 
-from ..ap.compiler import BoardImageCache, dataset_digest, partition_cache_key
+from ..ap.compiler import BoardImageCache, partition_cache_key
 from ..ap.device import GEN1, APDeviceSpec
 from ..ap.runtime import REPORT_RECORD_BITS, RuntimeCounters
 from ..host.parallel import (
@@ -64,6 +64,7 @@ from ..host.parallel import (
 )
 from ..util.bitops import hamming_cdist_packed, pack_bits, popcount_u64
 from ..util.topk import merge_ragged_blocks, merge_topk_blocks
+from .dataset import PackedDataset
 from .macros import MacroConfig, collector_tree_depth
 
 __all__ = [
@@ -133,6 +134,18 @@ class Workload(ABC):
         content-addressed cache key).  Default: none — artifacts for
         the built-ins depend only on the partition content."""
         return ()
+
+    def validate_dataset(self, n: int, d: int) -> None:
+        """Admission check: can this workload serve an ``(n, d)``
+        dataset at all?  Raise ``ValueError`` if not.  The shard
+        server runs this for every admitted workload *before* binding
+        its socket, so a bad shard file fails at startup with a clear
+        error instead of on the first query.  Default: any non-empty
+        binary dataset qualifies."""
+        if n < 1 or d < 1:
+            raise ValueError(
+                f"workload {self.name!r} cannot serve an ({n}, {d}) dataset"
+            )
 
     # -- the pipeline -----------------------------------------------------
 
@@ -730,16 +743,14 @@ class WorkloadSearch:
     ):
         from .engine import APSimilaritySearch
 
-        dataset_bits = np.asarray(dataset_bits, dtype=np.uint8)
-        if dataset_bits.ndim != 2 or dataset_bits.shape[0] == 0:
-            raise ValueError("dataset must be a non-empty (n, d) array")
-        if not np.isin(dataset_bits, (0, 1)).all():
-            raise ValueError("dataset must be binary (0/1)")
+        # One store-backed handle for every dataset shape — ndarray,
+        # PackedDataset, or a .pds path (see repro.core.dataset).
+        self.dataset = PackedDataset.ensure(dataset_bits)
         self.workload = (
             get_workload(workload) if isinstance(workload, str) else workload
         )
-        self.dataset = dataset_bits
-        self.n, self.d = dataset_bits.shape
+        self.n, self.d = self.dataset.shape
+        self.workload.validate_dataset(self.n, self.d)
         self.params = self.workload.validate_params(
             dict(params or {}), self.n, self.d
         )
@@ -760,7 +771,6 @@ class WorkloadSearch:
             (start, min(start + self.board_capacity, self.n))
             for start in range(0, self.n, self.board_capacity)
         ]
-        self._digests: dict[tuple[int, int], str] = {}
         # Engine-task compatibility fields (unused by mode="workload"
         # tasks but required by the PartitionTask dataclass).
         self._macro_config = MacroConfig()
@@ -769,27 +779,30 @@ class WorkloadSearch:
         )
 
     def _cache_key(self, start: int, end: int) -> tuple:
-        span = (start, end)
-        digest = self._digests.get(span)
-        if digest is None:
-            digest = dataset_digest(self.dataset[start:end])
-            self._digests[span] = digest
         return partition_cache_key(
             None,
             self._macro_config,
             self.device,
             extra=("workload", self.workload.name)
             + self.workload.cache_params(self.params),
-            digest=digest,
+            digest=self.dataset.partition_digest(start, end),
         )
 
     def _partition_tasks(self) -> list[PartitionTask]:
+        stub = np.empty((0, self.d), dtype=np.uint8)
+        refs = [
+            self.dataset.slice_ref(start, end) for start, end in self.partitions
+        ]
         return [
             PartitionTask(
                 p_idx=p_idx,
                 start=start,
                 end=end,
-                dataset_bits=self.dataset[start:end],
+                dataset_bits=(
+                    stub if refs[p_idx] is not None
+                    else self.dataset.rows(start, end)
+                ),
+                dataset_slice=refs[p_idx],
                 mode="workload",
                 d=self.d,
                 collector_depth=self._collector_depth,

@@ -349,6 +349,14 @@ class PartitionTask:
     # in-process backends leave both None.
     dataset_ref: ShmArrayRef | None = None
     artifact_shm: Any = None
+    # Store-backed dataset descriptor (repro.core.dataset.DatasetSliceRef):
+    # for mmap/shm-backed PackedDatasets the engine stubs dataset_bits
+    # empty and ships this descriptor-sized handle instead — workers
+    # attach the store themselves (an mmap worker maps the .pds by
+    # path: zero dataset bytes on the wire, no export step, no shm
+    # arena cap).  In-memory ArrayStore tasks leave it None and ride
+    # the dataset_ref/pickle transports above, unchanged.
+    dataset_slice: Any = None
 
 
 class _ArtifactShuttle:
@@ -429,12 +437,24 @@ def execute_partition(
         task = replace(
             task, dataset_bits=resolve_array(task.dataset_ref), dataset_ref=None
         )
+    dataset_slice = task.dataset_slice
+    if dataset_slice is not None:
+        # Store-backed partition: attach the store (one mapping per
+        # process, cached) and resolve the zero-copy row window.
+        task = replace(
+            task, dataset_bits=dataset_slice.resolve(), dataset_slice=None
+        )
     if task.artifact_shm is not None:
         task = replace(
             task, artifact=import_artifact_shm(task.artifact_shm), artifact_shm=None
         )
     result = get_workload(task.workload).execute_task(task, queries_bits, cache)
     result.t_start = t_start
+    if dataset_slice is not None:
+        # Drop the partition's freshly faulted mmap pages back to the
+        # page cache so a worker's RSS stays bounded by one partition,
+        # not the whole shard it walks over a run.
+        dataset_slice.release()
     return result
 
 
@@ -551,7 +571,12 @@ def _attach_cached_artifact(task: PartitionTask, cache) -> PartitionTask:
     artifact = cache.get(task.cache_key)
     if artifact is None:
         return task
-    return replace(task, artifact=artifact, dataset_bits=task.dataset_bits[:0])
+    return replace(
+        task,
+        artifact=artifact,
+        dataset_bits=task.dataset_bits[:0],
+        dataset_slice=None,
+    )
 
 
 def _shippable_nbytes(tasks: list[PartitionTask], queries_bits: np.ndarray) -> int:

@@ -20,10 +20,12 @@ server's request ring.
   inline payload area.
 * Submission is a memcpy: the parent pickles the (tiny — under shm
   transport the heavy fields are :class:`~repro.host.shm.ShmArrayRef`
-  descriptors) task into the next free slot, publishes the slot's
-  sequence number, and sets the worker's wake event — a semaphore
-  post, no pipe, no executor thread.  Target: ≤100 µs per-task
-  dispatch against the executor's ~0.5 ms.
+  descriptors, and store-backed datasets ship as
+  :class:`~repro.core.dataset.DatasetSliceRef` path/window handles the
+  worker attaches itself) task into the next free slot, publishes the
+  slot's sequence number, and sets the worker's wake event — a
+  semaphore post, no pipe, no executor thread.  Target: ≤100 µs
+  per-task dispatch against the executor's ~0.5 ms.
 * Results return through the completion ring the same way; a result
   too large for a slot **spills** to a dedicated shared-memory segment
   whose name rides in the slot header (the worker announces the name
@@ -241,8 +243,8 @@ def _untrack(seg) -> None:
 
 
 def _pinned_worker_main(control_name: str, worker_id: int, n_workers: int,
-                        depth: int, payload_cap: int, submit_event,
-                        completion_event, parent_pid: int) -> None:
+                        depth: int, payload_cap: int, submit_sem,
+                        completion_sem, parent_pid: int) -> None:
     """One pinned worker: drain the submission ring forever.
 
     Every task executes through
@@ -266,9 +268,12 @@ def _pinned_worker_main(control_name: str, worker_id: int, n_workers: int,
 
     try:
         while True:
-            # Clear-then-scan: a publish after the clear re-sets the
-            # event, so a wakeup can never be lost.
-            submit_event.clear()
+            # Scan-then-wait over a counting semaphore: a token posted
+            # after the scan makes the acquire below return at once, so
+            # a wakeup can never be lost; surplus tokens only cost a
+            # spurious rescan.  (Semaphores, not Events: sem_post has
+            # no sleeper handshake, so a worker SIGKILLed mid-wait can
+            # never wedge the poster — see the parent-side note.)
             progressed = False
             while True:
                 (shutdown,) = struct.unpack_from("<Q", buf, 0)
@@ -319,12 +324,12 @@ def _pinned_worker_main(control_name: str, worker_id: int, n_workers: int,
                              sname.encode("ascii"), t_start)
                 else:
                     _publish(buf, coff, ticket, out, len(out), 0, b"", t_start)
-                completion_event.set()
+                completion_sem.release()
                 _beat()
                 ticket += 1
                 progressed = True
             if not progressed:
-                if not submit_event.wait(0.1):
+                if not submit_sem.acquire(True, 0.1):
                     try:
                         if os.getppid() != parent_pid:
                             return  # orphaned: parent died without close()
@@ -365,7 +370,7 @@ class RingRunReport:
     respawns: int
 
 
-def _teardown(control, procs, submit_events, live_spills, geo) -> None:
+def _teardown(control, procs, submit_sems, live_spills, geo) -> None:
     """Shutdown/finalizer target (must not reference the pool): stop
     the workers, then reclaim every segment the ring ever touched —
     announced orphans, unconsumed result spills, parent-side task
@@ -375,9 +380,9 @@ def _teardown(control, procs, submit_events, live_spills, geo) -> None:
         struct.pack_into("<Q", control.buf, 0, 1)  # shutdown flag
     except (ValueError, OSError, struct.error):
         pass
-    for ev in submit_events:
+    for sem in submit_sems:
         try:
-            ev.set()
+            sem.release()
         except Exception:
             pass
     for p in procs:
@@ -451,7 +456,7 @@ class PinnedWorkerPool:
     ``close()``, the ``weakref.finalize`` leak guard — applies
     unchanged.  Work goes through :meth:`run_tasks` (batch-in,
     batch-out) rather than per-task futures: the whole point is that
-    submission is a slot memcpy plus an event post.
+    submission is a slot memcpy plus a semaphore post.
 
     ``task_retries`` bounds respawn-and-resubmit per task when a
     worker dies mid-task; beyond it :class:`RingWorkerCrashed` is
@@ -488,8 +493,19 @@ class PinnedWorkerPool:
             raise RingUnavailableError(
                 f"cannot create ring control segment: {exc}"
             ) from exc
-        self._submit_events = [self._ctx.Event() for _ in range(self.n_workers)]
-        self._completion_event = self._ctx.Event()
+        # Wake primitives are counting semaphores, NOT Events: an
+        # Event.set() must handshake with every recorded sleeper
+        # (Condition.notify blocks on _woken_count), so a worker
+        # SIGKILLed while parked in Event.wait() leaves a stale
+        # sleeper count that deadlocks the next set() — with the
+        # condition lock held, which also wedges the respawned
+        # worker.  sem_post never blocks and a killed waiter leaves
+        # no state behind; surplus tokens just cause a spare ring
+        # scan.
+        self._submit_sems = [
+            self._ctx.Semaphore(0) for _ in range(self.n_workers)
+        ]
+        self._completion_sem = self._ctx.Semaphore(0)
         self._procs: list = [None] * self.n_workers
         self._next_ticket = [0] * self.n_workers
         self._next_completion = [0] * self.n_workers
@@ -506,7 +522,7 @@ class PinnedWorkerPool:
         # segment.  The target must not reference `self`.
         self._finalizer = weakref.finalize(
             self, _teardown, self._control, self._procs,
-            self._submit_events, self._live_spills, self._geo,
+            self._submit_sems, self._live_spills, self._geo,
         )
         try:
             for w in range(self.n_workers):
@@ -521,8 +537,8 @@ class PinnedWorkerPool:
         proc = self._ctx.Process(
             target=_pinned_worker_main,
             args=(self._control.name, w, self.n_workers, self._geo.depth,
-                  self._geo.payload, self._submit_events[w],
-                  self._completion_event, os.getpid()),
+                  self._geo.payload, self._submit_sems[w],
+                  self._completion_sem, os.getpid()),
             name=f"repro-pinned-{w}",
             daemon=True,
         )
@@ -559,7 +575,7 @@ class PinnedWorkerPool:
             return
         self._closed = True
         self._finalizer.detach()
-        _teardown(self._control, self._procs, self._submit_events,
+        _teardown(self._control, self._procs, self._submit_sems,
                   self._live_spills, self._geo)
 
     def __enter__(self) -> "PinnedWorkerPool":
@@ -593,7 +609,7 @@ class PinnedWorkerPool:
                      name.encode("ascii"), t_sub)
         self._inflight[w][ticket] = rec
         self._next_ticket[w] = ticket + 1
-        self._submit_events[w].set()
+        self._submit_sems[w].release()
 
     def _release_spill(self, rec: _Inflight) -> None:
         if rec.spill is None:
@@ -649,7 +665,8 @@ class PinnedWorkerPool:
         self._inflight[w] = {}
         self._next_ticket[w] = 0
         self._next_completion[w] = 0
-        self._submit_events[w].clear()
+        while self._submit_sems[w].acquire(False):
+            pass  # drop tokens the dead worker never consumed
         old = self._procs[w]
         if old is not None:
             try:
@@ -745,14 +762,16 @@ class PinnedWorkerPool:
                     error is not None and outstanding == 0
                 ):
                     break
-                # Clear-then-drain: a completion published after the
-                # clear re-fires the event, so wakeups cannot be lost.
-                self._completion_event.clear()
+                # Drain-then-wait: each completion posts one token
+                # after publishing, so a completion landing between
+                # the drain and the acquire wakes it immediately —
+                # wakeups cannot be lost, and stale tokens only cost
+                # one empty drain pass.
                 events = self._drain()
                 if events:
                     _consume(events)
                     continue
-                if self._completion_event.wait(self._poll_timeout):
+                if self._completion_sem.acquire(True, self._poll_timeout):
                     continue
                 dead = [
                     w for w in range(self.n_workers)

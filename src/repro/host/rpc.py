@@ -459,26 +459,38 @@ class ShardServer:
         workloads: tuple[str, ...] | list[str] | None = None,
         **engine_kwargs,
     ):
+        from ..core.dataset import PackedDataset
         from ..core.engine import APSimilaritySearch
+        from ..core.workload import available_workloads, get_workload
 
-        dataset_bits = np.asarray(dataset_bits, dtype=np.uint8)
-        if dataset_bits.ndim != 2 or dataset_bits.shape[0] == 0:
-            raise ValueError("shard dataset must be a non-empty (n, d) array")
+        # ndarray, PackedDataset handle, or a .pds path — a file-backed
+        # shard serves without its payload ever loading into RAM, and
+        # provisioning a shard host is just copying the file.
+        self.dataset = PackedDataset.ensure(dataset_bits, name="shard dataset")
+        self.n, self.d = self.dataset.shape
         if offset < 0:
             raise ValueError("offset must be >= 0")
         if workloads is not None:
-            from ..core.workload import get_workload
-
             workloads = tuple(workloads)
             for wl_name in workloads:
                 get_workload(wl_name)  # fail fast on unknown names
         # None = serve every registered workload; a tuple is an
         # admission list ("knn" included covers the legacy wire too).
         self.workloads = workloads
-        self.dataset = dataset_bits
-        self.n, self.d = dataset_bits.shape
         self.offset = int(offset)
         self.n_devices = int(n_devices)
+        if not 1 <= self.n_devices <= self.n:
+            raise ValueError(
+                f"n_devices={self.n_devices} out of range for an "
+                f"{self.n}-row shard"
+            )
+        # Every workload this server could be asked to run must admit
+        # the shard's geometry NOW — before the socket binds — so a bad
+        # shard file fails at startup with a clear error, not on the
+        # first client query.
+        for wl_name in (workloads if workloads is not None
+                        else available_workloads()):
+            get_workload(wl_name).validate_dataset(self.n, self.d)
         engine_kwargs.setdefault("cache", True)
         self._engine_kwargs = engine_kwargs
         self._cache = APSimilaritySearch._normalize_cache(engine_kwargs["cache"])
@@ -675,16 +687,22 @@ def serve_shard(
     full dataset — shard bounds and the global offset are derived with
     the same :func:`~repro.core.multiboard.balanced_shard_bounds` the
     local multi-board layer uses, so a rack of ``serve_shard(data, i,
-    N)`` servers covers the dataset exactly."""
+    N)`` servers covers the dataset exactly.  Accepts anything
+    :meth:`~repro.core.dataset.PackedDataset.ensure` does — a ``.pds``
+    path shards by zero-copy sub-window, so every server in the rack
+    can point at the *same* file and carve out its own rows.  Bounds
+    derive from the handle's own row count, so RPC sharding can't
+    disagree with the store's actual length."""
+    from ..core.dataset import PackedDataset
     from ..core.multiboard import balanced_shard_bounds
 
-    dataset_bits = np.asarray(dataset_bits, dtype=np.uint8)
+    dataset = PackedDataset.ensure(dataset_bits, name="shard dataset")
     if not 0 <= shard_index < n_shards:
         raise ValueError(f"need 0 <= shard_index < n_shards, got "
                          f"{shard_index}/{n_shards}")
-    bounds = balanced_shard_bounds(dataset_bits.shape[0], n_shards)
+    bounds = balanced_shard_bounds(dataset.n, n_shards)
     lo, hi = int(bounds[shard_index]), int(bounds[shard_index + 1])
-    return ShardServer(dataset_bits[lo:hi], offset=lo, **server_kwargs)
+    return ShardServer(dataset.slice_rows(lo, hi), offset=lo, **server_kwargs)
 
 
 # -- client ----------------------------------------------------------------

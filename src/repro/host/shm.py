@@ -40,6 +40,15 @@ the exporter unlinks, the name is gone regardless of worker state.
 Platforms without ``multiprocessing.shared_memory`` (or without a
 usable ``/dev/shm``) report :func:`shm_available()` → ``False`` and the
 parallel layer transparently falls back to the pickle path.
+
+This transport serves *in-memory* (``ArrayStore``) datasets.  Store-
+backed datasets go one step further: :class:`~repro.core.dataset.
+ShmStore` wraps an exported :class:`ShmArrayRef` behind the
+:class:`~repro.core.dataset.PackedDataset` interface, and mmap-backed
+datasets skip this module entirely — their tasks carry a
+:class:`~repro.core.dataset.DatasetSliceRef` naming the ``.pds`` file,
+which workers map themselves (no export step, no segment, no arena
+cap), shipping zero dataset bytes through any transport.
 """
 
 from __future__ import annotations
