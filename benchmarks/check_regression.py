@@ -34,6 +34,7 @@ Re-baselining (after an intentional perf change)::
     python benchmarks/bench_workloads.py         --quick
     python benchmarks/bench_dispatch_overhead.py --quick
     python benchmarks/bench_dataset_stores.py    --quick
+    python benchmarks/bench_availability.py      --quick
     python benchmarks/check_regression.py --update
 
 then commit the refreshed ``benchmarks/baselines/`` alongside the
@@ -173,6 +174,22 @@ TRACKED: dict[str, list[Metric]] = {
         # None off Linux (ru_maxrss semantics differ) — _evaluate skips.
         Metric("mmap_rss_within_budget",
                lambda d: d["rss"]["within_budget"], kind="bool"),
+    ],
+    "BENCH_availability.json": [
+        Metric("kill_failover_complete",
+               lambda d: d["kill_failover"]["never_partial"]
+               and d["kill_failover"]["all_identical"]
+               and d["kill_failover"]["failover_absorbed"], kind="bool"),
+        # The acceptance gate is absolute (>= 2x), not baseline-relative:
+        # hedging that stops halving an injected 200ms tail is broken on
+        # any machine, so encode the floor as a bool invariant and track
+        # the raw ratio only with the wide wall-clock band.
+        Metric("hedge_cuts_p99_2x",
+               lambda d: d["hedged_tail"]["p99_cut"] >= 2.0, kind="bool"),
+        Metric("hedges_fired",
+               lambda d: d["hedged_tail"]["hedges_fired"] >= 1, kind="bool"),
+        Metric("p99_cut", lambda d: d["hedged_tail"]["p99_cut"],
+               tolerance=TIMING_TOLERANCE),
     ],
     "BENCH_workloads.json": [
         Metric("bit_identical",

@@ -23,6 +23,7 @@ Downstream-user entry points over the library's main flows:
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 
 import numpy as np
@@ -48,14 +49,31 @@ def build_parser() -> argparse.ArgumentParser:
                         "query batch out to running `repro serve` instances "
                         "and merge their replies (bit-identical to a local "
                         "search over the concatenated dataset); the local "
-                        "dataset argument is ignored — pass '-'")
+                        "dataset argument is ignored — pass '-'. Each "
+                        "comma-separated slot may be a replica group "
+                        "'host:port|host:port' of servers holding the SAME "
+                        "shard: the group picks a primary by tracked "
+                        "health, fails over on error, and hedges slow "
+                        "requests instead of degrading to partial")
+    s.add_argument("--replicas", default=None, metavar="GROUP,...",
+                   dest="remote_replicas",
+                   help="alias for --remote emphasizing the replica-group "
+                        "syntax: 'h1:p|h2:p,h3:p|h4:p' = two shards, two "
+                        "replicas each")
     s.add_argument("--timeout-s", type=float, default=10.0,
                    help="per-shard RPC timeout (with --remote)")
     s.add_argument("--retries", type=int, default=1,
                    help="per-shard reconnect-retries (with --remote)")
+    s.add_argument("--hedge-delay-ms", type=float, default=None,
+                   help="hedged-read delay for replica groups (with "
+                        "--remote): re-issue a slow request to a second "
+                        "replica after this many ms; default adapts to "
+                        "~1.5x the observed p95 latency, 0 disables "
+                        "hedging (failover still applies)")
     s.add_argument("--require-all-shards", action="store_true",
-                   help="fail the batch if any shard fails, instead of "
-                        "returning a flagged partial merge (with --remote)")
+                   help="fail the batch if any shard (every replica of a "
+                        "group) fails, instead of returning a flagged "
+                        "partial merge (with --remote)")
     s.add_argument("-k", type=int, default=10, help="neighbors per query")
     s.add_argument("--workload", default="knn", metavar="NAME",
                    help="registered workload to run (see `repro "
@@ -170,6 +188,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "--workload knn --workload range); default = every "
                         "registered workload. The legacy kNN wire counts "
                         "as 'knn' for admission")
+    v.add_argument("--drain-timeout-s", type=float, default=5.0,
+                   help="SIGTERM drain bound: stop accepting, let in-flight "
+                        "requests finish for up to this long, then close — "
+                        "rolling restarts never drop an accepted request "
+                        "(pair with --cache-dir for a warm rejoin)")
 
     g = sub.add_parser("pack", help="pack a dataset into the mmap-able "
                                     ".pds shard format")
@@ -240,6 +263,9 @@ def _cmd_search(args) -> int:
     from repro.core.multiboard import MultiBoardSearch
     from repro.host.parallel import ParallelConfig
 
+    # --replicas is --remote with the group syntax spelled out.
+    if getattr(args, "remote_replicas", None) and not args.remote:
+        args.remote = args.remote_replicas
     if args.workload != "knn":
         return _workload_search(args)
     if args.remote:
@@ -322,6 +348,26 @@ def _cmd_search(args) -> int:
     return 0
 
 
+def _hedge_from_args(args):
+    """``--hedge-delay-ms`` -> a HedgePolicy (None = adaptive default)."""
+    from repro.host.replication import HedgePolicy
+
+    delay_ms = getattr(args, "hedge_delay_ms", None)
+    if delay_ms is None:
+        return None
+    if delay_ms <= 0:
+        return HedgePolicy(enabled=False)
+    return HedgePolicy(fixed_delay_s=delay_ms / 1000.0)
+
+
+def _print_replication(result) -> None:
+    failovers = getattr(result, "failovers", 0)
+    hedges = getattr(result, "hedges", 0)
+    if failovers or hedges:
+        print(f"# replication: {failovers} failover(s), "
+              f"{hedges} hedged read(s)")
+
+
 def _remote_search(args) -> int:
     """Fan the query batch out to running shard servers and merge."""
     from repro.host.rpc import RemoteMultiBoardSearch, RemoteShardError
@@ -339,6 +385,7 @@ def _remote_search(args) -> int:
             timeout_s=args.timeout_s,
             retries=args.retries,
             allow_partial=not args.require_all_shards,
+            hedge=_hedge_from_args(args),
         )
     except (RemoteShardError, OSError, ValueError) as exc:
         print(f"error: cannot reach shard rack: {exc}", file=sys.stderr)
@@ -370,6 +417,8 @@ def _remote_search(args) -> int:
               f"symbols={counters.symbols_streamed} "
               f"reports={counters.reports_received}")
         print(f"# wire traffic: {sent} bytes out, {received} bytes back")
+        if args.batch <= 0:
+            _print_replication(result)
         for qi in range(min(queries.shape[0], 10)):
             pairs = " ".join(
                 f"{i}:{d}" for i, d in zip(indices[qi], distances[qi])
@@ -490,6 +539,7 @@ def _remote_workload_search(args, params: dict) -> int:
             timeout_s=args.timeout_s,
             retries=args.retries,
             allow_partial=not args.require_all_shards,
+            hedge=_hedge_from_args(args),
         )
     except (RemoteShardError, OSError) as exc:
         print(f"error: cannot reach shard rack: {exc}", file=sys.stderr)
@@ -516,6 +566,7 @@ def _remote_workload_search(args, params: dict) -> int:
               f"symbols={counters.symbols_streamed} "
               f"reports={counters.reports_received}")
         print(f"# wire traffic: {sent} bytes out, {received} bytes back")
+        _print_replication(result)
         _print_workload_rows(result.value)
         if args.out:
             np.save(args.out, result.indices)
@@ -650,10 +701,34 @@ def _cmd_serve(args) -> int:
     print(f"# serving shard {shard_index}/{n_shards} "
           f"(n={server.n}, d={server.d}, offset={server.offset}) "
           f"on {host}:{port} [{serving}]", flush=True)
+
+    # SIGTERM (the rolling-restart signal) drains instead of dying
+    # mid-request: the handler may only raise — calling
+    # server.shutdown() here would deadlock, since serve_forever() is
+    # parked in this very thread — so the drain runs after the accept
+    # loop unwinds.
+    class _Sigterm(Exception):
+        pass
+
+    def _on_sigterm(signum, frame):
+        raise _Sigterm
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:
+        pass  # not the main thread (embedded use): abrupt close only
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("# shutting down", file=sys.stderr)
+    except _Sigterm:
+        print(f"# SIGTERM: draining in-flight requests "
+              f"(bounded {args.drain_timeout_s:g}s)", file=sys.stderr,
+              flush=True)
+        drained = server.drain(args.drain_timeout_s)
+        print("# drain complete" if drained
+              else "# drain timed out: cutting stragglers",
+              file=sys.stderr, flush=True)
     finally:
         server.close()
     return 0

@@ -105,6 +105,11 @@ class MultiBoardResult:
     # failed to answer the batch (always empty for local execution —
     # a local device either answers or raises).
     failed_shards: tuple[str, ...] = ()
+    # Replication accounting for the remote fan-out (always 0 locally):
+    # replica failovers this batch needed, and hedged re-issues the
+    # groups launched against slow primaries.
+    failovers: int = 0
+    hedges: int = 0
 
     @property
     def k(self) -> int:

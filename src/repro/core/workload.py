@@ -700,6 +700,9 @@ class WorkloadRunResult:
     # (None when the run was serial).
     dispatch_overhead_s: float | None = None
     failed_shards: tuple = ()
+    # Replication accounting for the remote fan-out (always 0 locally).
+    failovers: int = 0
+    hedges: int = 0
 
     @property
     def indices(self) -> np.ndarray:

@@ -87,6 +87,10 @@ class BatchedResult:
     # (the remote fan-out of repro.host.rpc): shards missing from the
     # batch this slice came out of.  Empty for local engines.
     failed_shards: tuple = ()
+    # Replication accounting forwarded the same way: failovers/hedged
+    # re-issues the batch this slice came out of needed (0 locally).
+    failovers: int = 0
+    hedges: int = 0
     # This caller's full workload-typed result slice, set when the
     # searcher exposes a ``split_result`` hook (the generic workload
     # engines): similarities, ragged hit counts, and any other
@@ -263,6 +267,8 @@ class BatchRouter:
                 batch_rows=rows,
                 batch_calls=len(batch),
                 failed_shards=tuple(getattr(result, "failed_shards", ())),
+                failovers=int(getattr(result, "failovers", 0)),
+                hedges=int(getattr(result, "hedges", 0)),
             )
             lo = 0
             for req in batch:

@@ -1,0 +1,318 @@
+"""Deterministic fault injection for the shard rack (chaos tests).
+
+Two injection points, both programmable at runtime and both inert in
+production:
+
+:class:`ChaosProxy`
+    A TCP proxy in front of a real :class:`~repro.host.rpc.ShardServer`.
+    The wire protocol is strict request/response over length-prefixed
+    frames, so the proxy relays *frames*, not bytes — it knows exactly
+    which reply belongs to which request and can fault "every Nth
+    request" or "the next N requests" deterministically.  Faults:
+    ``delay`` (slow replica), ``drop`` (close silently, mid-stream
+    EOF), ``reset`` (RST via SO_LINGER-0), ``corrupt`` (flip a frame
+    magic byte — the wire has no payload checksum, so header corruption
+    is the variant a client deterministically detects and rejects),
+    ``hang_after_header`` (send only the 16-byte frame
+    header, then hold the socket open — the client blocks until its
+    timeout, the worst failure mode for tail latency).  ``kill()``
+    makes the proxied replica look like a dead host: the listener
+    closes and every live connection is cut.
+
+:class:`ServerFaultHook`
+    In-process hook for :class:`~repro.host.rpc.ShardServer`
+    (``fault_hook=``): consulted once per reply, it can delay, drop,
+    reset, corrupt, or truncate-and-hold that reply *inside* the
+    server — faults on the far side of the accept loop, where a proxy
+    cannot reach (e.g. a request that was accepted and then stalls,
+    for drain tests).
+
+Both share :class:`FaultSpec` scheduling: ``times=N`` arms the fault
+for the next N matching replies then auto-clears, ``every=K`` fires on
+every Kth reply — intermittent slowness that EWMA-based primary
+selection cannot simply route around, which is what makes hedging
+measurable.  No randomness anywhere: chaos tests must replay.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass
+
+from .rpc import _HEADER, MAX_PAYLOAD_BYTES, _recv_exact
+
+__all__ = [
+    "FaultSpec",
+    "FaultAction",
+    "ServerFaultHook",
+    "ChaosProxy",
+]
+
+_LINGER_RST = struct.pack("ii", 1, 0)  # SO_LINGER(on, 0s) => RST on close
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """What to inject and when.
+
+    ``mode`` is one of ``"delay"``, ``"drop"``, ``"reset"``,
+    ``"corrupt"``, ``"hang_after_header"``.  ``every=K`` fires on every
+    Kth matching reply (1-based), ``times=N`` disarms after N firings;
+    both unset means every reply.
+    """
+
+    mode: str
+    delay_s: float = 0.0
+    every: int | None = None
+    times: int | None = None
+    after_bytes: int = _HEADER.size  # bytes sent before a hang
+    hold_s: float = 30.0  # how long a hang keeps the socket open
+
+    _MODES = ("delay", "drop", "reset", "corrupt", "hang_after_header")
+
+    def __post_init__(self):
+        if self.mode not in self._MODES:
+            raise ValueError(
+                f"unknown fault mode {self.mode!r} (one of {self._MODES})"
+            )
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One concrete injection, applied to one reply frame."""
+
+    spec: FaultSpec
+
+    def apply(self, sock: socket.socket, frame: bytes) -> bool:
+        """Inject into ``frame`` bound for ``sock``; False = close the
+        connection afterwards (the contract of the server reply path)."""
+        spec = self.spec
+        if spec.delay_s:
+            time.sleep(spec.delay_s)
+        if spec.mode == "delay":
+            sock.sendall(frame)
+            return True
+        if spec.mode == "drop":
+            return False  # silent close: peer sees EOF mid-stream
+        if spec.mode == "reset":
+            try:
+                sock.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_LINGER, _LINGER_RST
+                )
+            except OSError:
+                pass
+            return False  # close now sends RST, not FIN
+        if spec.mode == "corrupt":
+            # Flip a byte of the frame MAGIC: the wire has no payload
+            # checksum, so flipping body bytes can silently corrupt
+            # values that still parse — header corruption is the
+            # variant every client deterministically detects (bad
+            # magic -> RpcProtocolError -> poisoned connection),
+            # exercising "answered garbage" distinct from "went away".
+            frame = bytes([frame[0] ^ 0xFF]) + frame[1:]
+            sock.sendall(frame)
+            return True
+        # hang_after_header: a partial reply, then a held-open socket —
+        # the client can only escape via its own timeout.
+        sock.sendall(frame[: spec.after_bytes])
+        time.sleep(spec.hold_s)
+        return False
+
+
+class _FaultSchedule:
+    """Shared every/times counting for both injection points."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._spec: FaultSpec | None = None
+        self._seen = 0  # matching replies since arm()
+        self._fired = 0
+
+    def arm(self, spec: FaultSpec) -> None:
+        with self._lock:
+            self._spec = spec
+            self._seen = 0
+            self._fired = 0
+
+    def disarm(self) -> None:
+        with self._lock:
+            self._spec = None
+
+    @property
+    def fired(self) -> int:
+        with self._lock:
+            return self._fired
+
+    def next_action(self) -> FaultAction | None:
+        with self._lock:
+            spec = self._spec
+            if spec is None:
+                return None
+            self._seen += 1
+            if spec.every is not None and self._seen % spec.every != 0:
+                return None
+            self._fired += 1
+            if spec.times is not None and self._fired >= spec.times:
+                self._spec = None  # auto-disarm after the last firing
+            return FaultAction(spec)
+
+
+class ServerFaultHook(_FaultSchedule):
+    """``ShardServer(fault_hook=...)``: per-reply in-process injection.
+
+    Callable as the server expects — ``hook(msg_type)`` returns a
+    :class:`FaultAction` or None.  ``match`` restricts injection to
+    specific message types (e.g. only search replies, leaving the
+    handshake healthy).
+    """
+
+    def __init__(self, spec: FaultSpec | None = None,
+                 match: tuple[int, ...] | None = None):
+        super().__init__()
+        self.match = tuple(match) if match is not None else None
+        if spec is not None:
+            self.arm(spec)
+
+    def __call__(self, msg_type: int) -> FaultAction | None:
+        if self.match is not None and msg_type not in self.match:
+            return None
+        return self.next_action()
+
+
+class ChaosProxy:
+    """Frame-aware TCP chaos proxy in front of one shard server.
+
+    Listens on ``(host, port)`` (port 0 = ephemeral), forwards each
+    request frame to ``target`` and relays the reply, injecting the
+    armed :class:`FaultSpec` per reply.  Strictly one request in
+    flight per connection — exactly the protocol's own discipline — so
+    fault scheduling is deterministic in request order.
+    """
+
+    def __init__(self, target: str, host: str = "127.0.0.1", port: int = 0):
+        thost, sep, tport = target.rpartition(":")
+        if not sep or not thost:
+            raise ValueError(f"target must be 'host:port', got {target!r}")
+        self.target = (thost, int(tport))
+        self.schedule = _FaultSchedule()
+        self.requests_proxied = 0
+        self._lock = threading.Lock()
+        self._closed = False
+        self._conns: set[socket.socket] = set()
+        self._listener = socket.create_server((host, port))
+        self._listener.settimeout(0.2)  # bounded accept wait: close() is fast
+        self.address = "{}:{}".format(*self._listener.getsockname()[:2])
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop,
+            name=f"chaos-proxy-{self.address}",
+            daemon=True,
+        )
+        self._accept_thread.start()
+
+    # -- fault control ------------------------------------------------------
+
+    def set_fault(self, spec: FaultSpec) -> None:
+        self.schedule.arm(spec)
+
+    def clear_fault(self) -> None:
+        self.schedule.disarm()
+
+    @property
+    def faults_fired(self) -> int:
+        return self.schedule.fired
+
+    # -- proxy machinery ----------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                client, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed (kill/close)
+            threading.Thread(
+                target=self._serve_connection, args=(client,), daemon=True
+            ).start()
+
+    @staticmethod
+    def _read_frame_bytes(sock: socket.socket) -> bytes:
+        head = _recv_exact(sock, _HEADER.size)
+        length = struct.unpack("!Q", head[8:16])[0]
+        if length > MAX_PAYLOAD_BYTES:
+            raise ConnectionError("oversized frame through proxy")
+        return head + (_recv_exact(sock, length) if length else b"")
+
+    def _serve_connection(self, client: socket.socket) -> None:
+        try:
+            upstream = socket.create_connection(self.target, timeout=10.0)
+        except OSError:
+            client.close()
+            return
+        upstream.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        client.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        with self._lock:
+            if self._closed:
+                client.close()
+                upstream.close()
+                return
+            self._conns.update((client, upstream))
+        try:
+            while True:
+                request = self._read_frame_bytes(client)
+                upstream.sendall(request)
+                reply = self._read_frame_bytes(upstream)
+                with self._lock:
+                    self.requests_proxied += 1
+                action = self.schedule.next_action()
+                if action is None:
+                    client.sendall(reply)
+                elif not action.apply(client, reply):
+                    return
+        except (ConnectionError, OSError):
+            return  # either side gone: end of session
+        finally:
+            with self._lock:
+                self._conns.discard(client)
+                self._conns.discard(upstream)
+            for sock in (client, upstream):
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def kill(self) -> None:
+        """Make the proxied replica look like a dead host: refuse new
+        connections and cut every live one mid-whatever-it-was-doing."""
+        self._closed = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            conns = list(self._conns)
+            self._conns.clear()
+        for sock in conns:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        self.kill()
+        self._accept_thread.join(timeout=2.0)
+
+    def __enter__(self) -> "ChaosProxy":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -50,13 +50,31 @@ Failure semantics
 -----------------
 
 Per-shard timeouts and bounded retries (with reconnect — a timed-out
-connection may have a stale reply in flight, so it is never reused).
-When ``allow_partial=True`` (default) a batch whose shard(s) failed
-still returns: the merge covers the shards that answered, the result's
-``failed_shards`` names the ones that did not, and ``partial`` flags
-it — the top-k over the answering shards is still exact for those
-shards by the same merge argument.  ``allow_partial=False`` turns any
-shard failure into a raised :class:`RemoteShardError`.
+connection may have a stale reply in flight, so it is never reused;
+reconnects back off exponentially with jitter so a dead host is not
+hammered).  When ``allow_partial=True`` (default) a batch whose
+shard(s) failed still returns: the merge covers the shards that
+answered, the result's ``failed_shards`` names the ones that did not,
+and ``partial`` flags it — the top-k over the answering shards is
+still exact for those shards by the same merge argument.
+``allow_partial=False`` turns any shard failure into a raised
+:class:`RemoteShardError`.
+
+Availability (PR 9): each pool slot is a
+:class:`~repro.host.replication.ReplicaGroup` — one or more
+``RemoteShard`` replicas serving the *same* shard index, written as
+``host:port|host:port`` in the address list.  The group picks a
+primary by tracked health (EWMA latency + a consecutive-failure
+circuit breaker with half-open probing), fails over to the next
+replica on error instead of degrading the batch to ``partial``, and
+hedges slow requests (a speculative duplicate to a second replica
+after a p95-based delay; first complete answer wins, the loser's
+connection is aborted).  ``failed_shards`` now names whole groups: a
+slot only degrades when every replica in it failed.
+:meth:`ShardServer.drain` plus the CLI's SIGTERM handler give rolling
+restarts a graceful exit — stop accepting, finish in-flight requests
+(bounded), then close — so a replica can be replaced under traffic
+and rejoin warm via ``cache_dir``.
 
 :class:`RemoteMultiBoardSearch` wraps the pool in the same
 ``search()``/``batched()`` surface as
@@ -68,10 +86,12 @@ of a rack of remote shards.
 from __future__ import annotations
 
 import json
+import random
 import socket
 import socketserver
 import struct
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 
@@ -371,41 +391,80 @@ class _ShardRequestHandler(socketserver.BaseRequestHandler):
         server: ShardServer = self.server.shard_server  # type: ignore[attr-defined]
         sock = self.request
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        while True:
-            try:
-                msg_type, payload = read_frame(sock)
-            except (ConnectionError, OSError):
-                return  # peer done (or gone): normal end of session
-            except RpcProtocolError as exc:
-                self._send_error(sock, str(exc))
-                return
-            try:
-                if msg_type == MSG_PING:
-                    sock.sendall(pack_frame(MSG_PONG))
-                elif msg_type == MSG_INFO_REQ:
-                    info = server.info()
-                    sock.sendall(pack_frame(MSG_INFO, _INFO.pack(
-                        info.n, info.d, info.offset, info.n_partitions
-                    )))
-                elif msg_type == MSG_SEARCH_REQ:
-                    sock.sendall(pack_frame(
-                        MSG_SEARCH, server._serve_search(payload)
-                    ))
-                elif msg_type == MSG_WL_SEARCH_REQ:
-                    sock.sendall(pack_frame(
-                        MSG_WL_SEARCH, server._serve_workload_search(payload)
-                    ))
-                else:
-                    self._send_error(sock, f"unknown message type {msg_type}")
+        server._track_connection(sock)
+        try:
+            # A draining server lets the in-flight request finish, then
+            # ends the session at the next frame boundary (parked
+            # connections are woken by drain() shutting the socket down).
+            while not server._draining:
+                try:
+                    msg_type, payload = read_frame(sock)
+                except (ConnectionError, OSError):
+                    return  # peer done (or gone): normal end of session
+                except RpcProtocolError as exc:
+                    self._send_error(sock, str(exc))
                     return
-            except RpcProtocolError as exc:
-                self._send_error(sock, str(exc))
-                return
-            except BrokenPipeError:
-                return
-            except Exception as exc:  # engine error: report, keep serving
-                if not self._send_error(sock, f"{type(exc).__name__}: {exc}"):
-                    return
+                server._set_busy(sock, True)
+                try:
+                    if not self._serve_one(sock, server, msg_type, payload):
+                        return
+                finally:
+                    server._set_busy(sock, False)
+        finally:
+            server._untrack_connection(sock)
+
+    def _serve_one(
+        self, sock: socket.socket, server: "ShardServer",
+        msg_type: int, payload: bytes,
+    ) -> bool:
+        """Serve one request; False ends the session (drop connection)."""
+        try:
+            if msg_type == MSG_PING:
+                return self._reply(sock, server, MSG_PONG, b"")
+            elif msg_type == MSG_INFO_REQ:
+                info = server.info()
+                return self._reply(sock, server, MSG_INFO, _INFO.pack(
+                    info.n, info.d, info.offset, info.n_partitions
+                ))
+            elif msg_type == MSG_SEARCH_REQ:
+                return self._reply(
+                    sock, server, MSG_SEARCH, server._serve_search(payload)
+                )
+            elif msg_type == MSG_WL_SEARCH_REQ:
+                return self._reply(
+                    sock, server, MSG_WL_SEARCH,
+                    server._serve_workload_search(payload),
+                )
+            else:
+                self._send_error(sock, f"unknown message type {msg_type}")
+                return False
+        except RpcProtocolError as exc:
+            self._send_error(sock, str(exc))
+            return False
+        except BrokenPipeError:
+            return False
+        except Exception as exc:  # engine error: report, keep serving
+            return self._send_error(sock, f"{type(exc).__name__}: {exc}")
+
+    @staticmethod
+    def _reply(
+        sock: socket.socket, server: "ShardServer",
+        msg_type: int, payload: bytes,
+    ) -> bool:
+        """Send one reply frame; False ends the session.
+
+        Replies route through the server's fault hook when one is
+        armed (:mod:`repro.host.faults` — chaos tests only; ``None``
+        in production, a single attribute check on the hot path).
+        """
+        frame = pack_frame(msg_type, payload)
+        hook = server.fault_hook
+        if hook is not None:
+            action = hook(msg_type)
+            if action is not None:
+                return action.apply(sock, frame)
+        sock.sendall(frame)
+        return True
 
     @staticmethod
     def _send_error(sock: socket.socket, message: str) -> bool:
@@ -457,6 +516,7 @@ class ShardServer:
         port: int = 0,
         n_devices: int = 1,
         workloads: tuple[str, ...] | list[str] | None = None,
+        fault_hook=None,
         **engine_kwargs,
     ):
         from ..core.dataset import PackedDataset
@@ -507,6 +567,14 @@ class ShardServer:
         self._thread: threading.Thread | None = None
         self._serving = threading.Event()
         self._closed = False
+        # Fault-injection hook (repro.host.faults, chaos tests only):
+        # called per reply, may delay/corrupt/drop it.  None in prod.
+        self.fault_hook = fault_hook
+        # Live connections (socket -> currently-serving-a-request flag)
+        # so drain() can distinguish parked sessions from in-flight work.
+        self._draining = False
+        self._conn_lock = threading.Lock()
+        self._connections: dict[socket.socket, bool] = {}
 
     # -- engine management -------------------------------------------------
 
@@ -629,11 +697,12 @@ class ShardServer:
         try:
             self._server.serve_forever(poll_interval=0.1)
         except (OSError, ValueError):
-            # close() may have raced us and closed the listening socket
-            # before the accept loop started — selectors raise OSError
-            # or ValueError ("Invalid file descriptor") depending on
-            # where the race lands; both are a clean shutdown then.
-            if not self._closed:
+            # close() or drain() may have raced us and closed the
+            # listening socket before the accept loop started —
+            # selectors raise OSError or ValueError ("Invalid file
+            # descriptor") depending on where the race lands; both are
+            # a clean shutdown then.
+            if not (self._closed or self._draining):
                 raise
 
     def start(self) -> "ShardServer":
@@ -646,6 +715,75 @@ class ShardServer:
             )
             self._thread.start()
         return self
+
+    # -- graceful drain ----------------------------------------------------
+
+    def _track_connection(self, sock: socket.socket) -> None:
+        with self._conn_lock:
+            self._connections[sock] = False
+
+    def _set_busy(self, sock: socket.socket, busy: bool) -> None:
+        with self._conn_lock:
+            if sock in self._connections:
+                self._connections[sock] = busy
+
+    def _untrack_connection(self, sock: socket.socket) -> None:
+        with self._conn_lock:
+            self._connections.pop(sock, None)
+
+    @property
+    def active_requests(self) -> int:
+        """Connections currently inside a request (not merely parked)."""
+        with self._conn_lock:
+            return sum(1 for busy in self._connections.values() if busy)
+
+    def drain(self, timeout_s: float = 5.0) -> bool:
+        """Graceful shutdown, phase 1: stop accepting, finish in-flight.
+
+        Stops the accept loop and closes the listening socket (new
+        connects are refused immediately — a load balancer or replica
+        group fails over), wakes connections parked between requests so
+        their sessions end cleanly, and waits up to ``timeout_s`` for
+        requests already being served to complete.  Returns True when
+        every session ended inside the bound; False means stragglers
+        were cut off.  Call :meth:`close` afterwards to release engine
+        pools — the SIGTERM path in ``repro serve`` does exactly
+        ``drain(); close()``, so a rolling restart never drops an
+        accepted request while staying bounded by ``timeout_s``.
+        """
+        self._draining = True
+        if self._serving.is_set():
+            self._server.shutdown()
+        self._server.server_close()
+        deadline = time.monotonic() + max(0.0, float(timeout_s))
+        drained = False
+        while True:
+            with self._conn_lock:
+                conns = dict(self._connections)
+            if not conns:
+                drained = True
+                break
+            for sock, busy in conns.items():
+                if not busy:
+                    # Parked in read_frame between requests: shutting
+                    # the socket down fails that read immediately and
+                    # the handler exits (it owns the close).
+                    try:
+                        sock.shutdown(socket.SHUT_RDWR)
+                    except OSError:
+                        pass
+            if time.monotonic() >= deadline:
+                break
+            time.sleep(0.01)
+        if not drained:
+            with self._conn_lock:
+                stragglers = list(self._connections)
+            for sock in stragglers:
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+        return drained
 
     def close(self) -> None:
         """Stop serving, close the socket, release engine pools."""
@@ -727,6 +865,8 @@ class RemoteShard:
         timeout_s: float = 10.0,
         connect_timeout_s: float = 5.0,
         retries: int = 1,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
     ):
         host, sep, port = address.rpartition(":")
         if not sep or not host:
@@ -738,10 +878,16 @@ class RemoteShard:
         self.timeout_s = float(timeout_s)
         self.connect_timeout_s = float(connect_timeout_s)
         self.retries = int(retries)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
         self.bytes_sent = 0
         self.bytes_received = 0
         self._sock: socket.socket | None = None
+        self._aborted = False
         self._lock = threading.Lock()
+
+    # Indirection so tests can observe/skip the backoff sleeps.
+    _sleep = staticmethod(time.sleep)
 
     # -- transport --------------------------------------------------------
 
@@ -763,17 +909,68 @@ class RemoteShard:
                 pass
             self._sock = None
 
-    def _request(self, msg_type: int, payload: bytes) -> tuple[int, bytes]:
-        """One request/response round with bounded reconnect-retries."""
+    def abort(self) -> None:
+        """Cross-thread cancel of an in-flight round trip.
+
+        The replication layer aborts a hedged request's loser: shutting
+        the socket down fails the blocked recv immediately, and the
+        armed flag turns the failure into a non-retried
+        :class:`RemoteShardError` instead of a reconnect-with-backoff
+        loop.  The next round trip (after the owner re-arms via
+        :meth:`_clear_abort`) reconnects fresh; deliberately lock-free
+        so it works while :meth:`_round_trip` holds the request lock.
+        """
+        self._aborted = True
+        sock = self._sock
+        if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+
+    def _clear_abort(self) -> None:
+        self._aborted = False
+
+    def _round_trip(self, msg_type: int, payload: bytes) -> tuple[int, bytes]:
+        """One request/response round with bounded reconnect-retries.
+
+        Retries back off exponentially with jitter, capped at
+        ``backoff_cap_s`` — immediate reconnects from a rack of clients
+        synchronize into connect storms against a host that just died —
+        and connect vs. request failures are counted separately so the
+        final error says whether the host was unreachable or the
+        service misbehaved once connected.
+        """
         frame = pack_frame(msg_type, payload)
         last_error: Exception | None = None
+        connect_failures = 0
+        request_failures = 0
         with self._lock:
-            for _attempt in range(self.retries + 1):
+            for attempt in range(self.retries + 1):
+                if self._aborted:
+                    raise RemoteShardError(
+                        f"shard {self.address}: request aborted"
+                    ) from last_error
+                if attempt and self.backoff_base_s > 0:
+                    delay = min(
+                        self.backoff_cap_s,
+                        self.backoff_base_s * (1 << (attempt - 1)),
+                    )
+                    # Full jitter in [delay/2, delay): desynchronizes
+                    # reconnect herds without ever retrying instantly.
+                    self._sleep(delay * (0.5 + 0.5 * random.random()))
                 try:
                     sock = self._connected()
+                except OSError as exc:
+                    connect_failures += 1
+                    last_error = exc
+                    self._drop_connection()
+                    continue
+                try:
                     sock.sendall(frame)
                     resp_type, resp = read_frame(sock)
                 except (OSError, ConnectionError, RpcProtocolError) as exc:
+                    request_failures += 1
                     last_error = exc
                     self._drop_connection()
                     continue
@@ -787,17 +984,21 @@ class RemoteShard:
                 return resp_type, resp
         raise RemoteShardError(
             f"shard {self.address} unreachable after "
-            f"{self.retries + 1} attempt(s): {last_error}"
+            f"{self.retries + 1} attempt(s) ({connect_failures} connect / "
+            f"{request_failures} request failure(s)): {last_error}"
         ) from last_error
+
+    # Pre-PR 9 name, kept so embedders' stubs and wrappers still work.
+    _request = _round_trip
 
     # -- requests ---------------------------------------------------------
 
     def ping(self) -> bool:
-        resp_type, _ = self._request(MSG_PING, b"")
+        resp_type, _ = self._round_trip(MSG_PING, b"")
         return resp_type == MSG_PONG
 
     def info(self) -> ShardInfo:
-        resp_type, payload = self._request(MSG_INFO_REQ, b"")
+        resp_type, payload = self._round_trip(MSG_INFO_REQ, b"")
         if resp_type != MSG_INFO or len(payload) != _INFO.size:
             raise RemoteShardError(
                 f"shard {self.address}: malformed info response"
@@ -811,7 +1012,7 @@ class RemoteShard:
         payload = _SEARCH_REQ.pack(int(k)) + pack_array(
             np.ascontiguousarray(queries_bits, dtype=np.uint8)
         )
-        resp_type, resp = self._request(MSG_SEARCH_REQ, payload)
+        resp_type, resp = self._round_trip(MSG_SEARCH_REQ, payload)
         if resp_type != MSG_SEARCH:
             raise RemoteShardError(
                 f"shard {self.address}: unexpected response type {resp_type}"
@@ -832,7 +1033,7 @@ class RemoteShard:
 
         workload = get_workload(workload_name)
         payload = pack_workload_request(workload_name, params, queries_bits)
-        resp_type, resp = self._request(MSG_WL_SEARCH_REQ, payload)
+        resp_type, resp = self._round_trip(MSG_WL_SEARCH_REQ, payload)
         if resp_type != MSG_WL_SEARCH:
             raise RemoteShardError(
                 f"shard {self.address}: unexpected response type {resp_type}"
@@ -881,15 +1082,25 @@ class RemoteShardPool:
         connect_timeout_s: float = 5.0,
         retries: int = 1,
         allow_partial: bool = True,
+        hedge=None,
+        health=None,
     ):
+        from .replication import ReplicaGroup
+
         if not addresses:
             raise ValueError("need at least one shard address")
+        # Each slot is a replica group over one shard index: a plain
+        # "host:port" is a group of one (zero overhead vs PR 5), while
+        # "host:port|host:port" (or a list of addresses) replicates the
+        # slot — failover and hedging happen inside the group, so the
+        # fan-out/merge below never sees individual replicas.
         self.shards = [
-            RemoteShard(
-                addr, timeout_s=timeout_s,
+            ReplicaGroup(
+                spec, timeout_s=timeout_s,
                 connect_timeout_s=connect_timeout_s, retries=retries,
+                hedge=hedge, health=health,
             )
-            for addr in addresses
+            for spec in addresses
         ]
         self.allow_partial = bool(allow_partial)
         self._infos: dict[int, ShardInfo] = {}
@@ -960,6 +1171,19 @@ class RemoteShardPool:
             sum(s.bytes_received for s in self.shards),
         )
 
+    def _replica_events(self) -> tuple[int, int]:
+        """Cumulative ``(failovers, hedges)`` across all groups —
+        snapshot before/after a fan-out to attribute events per batch."""
+        return (
+            sum(g.failovers for g in self.shards),
+            sum(g.hedges for g in self.shards),
+        )
+
+    def health_snapshot(self) -> dict[str, list[dict]]:
+        """Per-replica health (state, EWMA latency, failure counts),
+        keyed by group address — observability, not a control surface."""
+        return {g.address: g.health_snapshot() for g in self.shards}
+
     def _shard_batch(self, i: int, queries_bits: np.ndarray, k: int):
         """One fan-out lane: (re-)handshake if needed, then search.
 
@@ -1000,6 +1224,7 @@ class RemoteShardPool:
         # so a shard whose handshake heals mid-batch widens this very
         # batch instead of being silently truncated to the stale
         # total_n.
+        failovers0, hedges0 = self._replica_events()
         futures = [
             self._pool.submit(self._shard_batch, i, queries_bits, k)
             for i in range(len(self.shards))
@@ -1053,6 +1278,7 @@ class RemoteShardPool:
         else:
             # empty set = nothing answered: "none", not a fake "mixed"
             execution = "mixed" if modes else "none"
+        failovers1, hedges1 = self._replica_events()
         return MultiBoardResult(
             indices=indices,
             distances=distances,
@@ -1062,6 +1288,8 @@ class RemoteShardPool:
             n_workers=len(blocks),
             transport="rpc",
             failed_shards=tuple(failed),
+            failovers=failovers1 - failovers0,
+            hedges=hedges1 - hedges0,
         )
 
     def _shard_workload_batch(
@@ -1111,6 +1339,7 @@ class RemoteShardPool:
         # below is the one that sizes the merge.
         workload.validate_params(params, self.total_n, self.d)
 
+        failovers0, hedges0 = self._replica_events()
         futures = [
             self._pool.submit(
                 self._shard_workload_batch, i, queries_bits,
@@ -1166,6 +1395,7 @@ class RemoteShardPool:
             execution = modes.pop()
         else:
             execution = "mixed" if modes else "none"
+        failovers1, hedges1 = self._replica_events()
         return WorkloadRunResult(
             workload=workload_name,
             value=value,
@@ -1175,6 +1405,8 @@ class RemoteShardPool:
             n_workers=len(partials),
             transport="rpc",
             failed_shards=tuple(failed),
+            failovers=failovers1 - failovers0,
+            hedges=hedges1 - hedges0,
         )
 
     def close(self) -> None:
@@ -1209,6 +1441,8 @@ class RemoteMultiBoardSearch:
         connect_timeout_s: float = 5.0,
         retries: int = 1,
         allow_partial: bool = True,
+        hedge=None,
+        health=None,
     ):
         if k < 1:
             raise ValueError("k must be >= 1")
@@ -1216,7 +1450,7 @@ class RemoteMultiBoardSearch:
         self.pool = RemoteShardPool(
             addresses, timeout_s=timeout_s,
             connect_timeout_s=connect_timeout_s, retries=retries,
-            allow_partial=allow_partial,
+            allow_partial=allow_partial, hedge=hedge, health=health,
         )
 
     @property
@@ -1292,6 +1526,8 @@ class RemoteWorkloadSearch:
         connect_timeout_s: float = 5.0,
         retries: int = 1,
         allow_partial: bool = True,
+        hedge=None,
+        health=None,
     ):
         from ..core.workload import get_workload
 
@@ -1302,7 +1538,7 @@ class RemoteWorkloadSearch:
         self.pool = RemoteShardPool(
             addresses, timeout_s=timeout_s,
             connect_timeout_s=connect_timeout_s, retries=retries,
-            allow_partial=allow_partial,
+            allow_partial=allow_partial, hedge=hedge, health=health,
         )
         # Fail fast on malformed params (bad radius, k < 1, ...) before
         # any caller blocks on a fan-out.

@@ -4,6 +4,14 @@ import numpy as np
 import pytest
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "chaos: fault-injection tests (run in their own CI lane with "
+        "client retries disabled; select with `-m chaos`)",
+    )
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     """Surface shared-memory skips in the run summary.
 

@@ -346,3 +346,86 @@ class TestServerProcesses:
                 p.terminate()
             for p in procs:
                 p.join(timeout=10)
+
+
+class TestDegradedWorkloadMerges:
+    """Satellite (PR 9): partial merges across ALL workloads — jaccard
+    top-k and hamming range, not just the legacy kNN wire — when a
+    shard dies mid-rack.  Oracle: a rack of only the answering shards
+    (same servers, same global offsets) must produce the identical
+    value, so the degraded merge is exact over the answering subset and
+    correctly flagged."""
+
+    @pytest.mark.parametrize("name,params", ALL_PARAMS)
+    def test_mid_rack_death_flagged_and_exact_over_answering(
+        self, name, params
+    ):
+        data, queries = _data(n=120)
+        servers, addresses = _start_rack(data, 3)
+        try:
+            with RemoteWorkloadSearch(
+                [addresses[0], addresses[2]], name, params
+            ) as oracle_rack:
+                oracle = oracle_rack.search(queries)
+            # shard 1 dies: accept loop gone AND live sessions cut
+            servers[1].drain(0.0)
+            servers[1].close()
+            with RemoteWorkloadSearch(
+                addresses, name, params,
+                connect_timeout_s=0.5, retries=0,
+            ) as remote:
+                res = remote.search(queries)
+            assert res.partial
+            assert res.failed_shards == (addresses[1],)
+            _assert_value_equal(get_workload(name), res.value, oracle.value)
+        finally:
+            for s in servers:
+                s.close()
+
+    def test_range_counts_shrink_by_exactly_the_dead_shards_hits(self):
+        # ragged merge accounting: the partial counts must differ from
+        # the full rack's by the dead shard's own hit counts, per query
+        data, queries = _data(n=120)
+        params = {"radius": 11}
+        full = WorkloadSearch(data, "range", params).search(queries)
+        servers, addresses = _start_rack(data, 3)
+        try:
+            lost = servers[1]
+            shard_rows = data[lost.offset: lost.offset + lost.n]
+            lost_hits = (
+                WorkloadSearch(shard_rows, "range", params)
+                .search(queries).value.counts
+            )
+            servers[1].drain(0.0)
+            servers[1].close()
+            with RemoteWorkloadSearch(
+                addresses, "range", params,
+                connect_timeout_s=0.5, retries=0,
+            ) as remote:
+                res = remote.search(queries)
+            assert res.partial
+            assert (
+                res.value.counts == full.value.counts - lost_hits
+            ).all()
+        finally:
+            for s in servers:
+                s.close()
+
+    @pytest.mark.parametrize("name,params", ALL_PARAMS)
+    def test_require_all_shards_raises_on_mid_rack_death(self, name, params):
+        data, queries = _data(n=90)
+        servers, addresses = _start_rack(data, 3)
+        try:
+            with RemoteWorkloadSearch(
+                addresses, name, params,
+                allow_partial=False, connect_timeout_s=0.5, retries=0,
+            ) as remote:
+                first = remote.search(queries)
+                assert not first.partial
+                servers[1].drain(0.0)
+                servers[1].close()
+                with pytest.raises(RemoteShardError, match="failed"):
+                    remote.search(queries)
+        finally:
+            for s in servers:
+                s.close()
