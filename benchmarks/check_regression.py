@@ -35,6 +35,7 @@ Re-baselining (after an intentional perf change)::
     python benchmarks/bench_dispatch_overhead.py --quick
     python benchmarks/bench_dataset_stores.py    --quick
     python benchmarks/bench_availability.py      --quick
+    python benchmarks/bench_observability.py     --quick
     python benchmarks/check_regression.py --update
 
 then commit the refreshed ``benchmarks/baselines/`` alongside the
@@ -190,6 +191,22 @@ TRACKED: dict[str, list[Metric]] = {
                lambda d: d["hedged_tail"]["hedges_fired"] >= 1, kind="bool"),
         Metric("p99_cut", lambda d: d["hedged_tail"]["p99_cut"],
                tolerance=TIMING_TOLERANCE),
+    ],
+    "BENCH_observability.json": [
+        # The overhead gate is absolute (<2% enabled-vs-disabled), not
+        # baseline-relative: a registry that costs more than that on
+        # any machine violates the attach-only contract, so it is a
+        # bool invariant rather than a tolerance-banded ratio.
+        Metric("overhead_under_2pct",
+               lambda d: d["overhead"]["overhead_ok"], kind="bool"),
+        Metric("bit_identical",
+               lambda d: d["overhead"]["identical"], kind="bool"),
+        Metric("counters_deterministic",
+               lambda d: d["determinism"]["identical_counters"]
+               and d["determinism"]["counters_flowed"], kind="bool"),
+        Metric("trace_spans_captured",
+               lambda d: d["trace"]["spans_captured"]
+               and d["trace"]["histogram_fed"], kind="bool"),
     ],
     "BENCH_workloads.json": [
         Metric("bit_identical",

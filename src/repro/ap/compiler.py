@@ -43,6 +43,7 @@ import numpy as np
 
 from ..automata.elements import STE, BooleanElement, Counter
 from ..automata.network import AutomataNetwork
+from ..perf import metrics as _metrics
 from .device import APDeviceSpec, GEN1
 
 __all__ = [
@@ -404,6 +405,27 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
 
+def _cache_metrics():
+    """Process-wide cache series (all cache instances feed one family)."""
+    reg = _metrics.get_registry()
+    return (
+        reg.counter(
+            "repro_cache_hits_total",
+            "Board-image cache hits by serving tier.",
+            labelnames=("tier",),
+        ),
+        reg.counter(
+            "repro_cache_misses_total",
+            "Board-image cache misses (artifact had to be compiled).",
+        ),
+        reg.counter(
+            "repro_cache_evictions_total",
+            "Board-image cache evictions by tier.",
+            labelnames=("tier",),
+        ),
+    )
+
+
 class BoardImageCache:
     """LRU-bounded cache of compiled board artifacts (Section III-C).
 
@@ -478,6 +500,12 @@ class BoardImageCache:
         # tolerate races with other processes sharing the directory.
         self._disk_lock = threading.Lock()
         self.stats = CacheStats()
+        hits, misses, evictions = _cache_metrics()
+        self._m_hit_mem = hits.labels(tier="memory")
+        self._m_hit_disk = hits.labels(tier="disk")
+        self._m_miss = misses
+        self._m_evict_mem = evictions.labels(tier="memory")
+        self._m_evict_disk = evictions.labels(tier="disk")
 
     def __len__(self) -> int:
         with self._lock:
@@ -580,6 +608,7 @@ class BoardImageCache:
                 total -= size
                 with self._lock:
                     self.stats.disk_evictions += 1
+                self._m_evict_disk.inc()
 
     def get(self, key: tuple) -> Any | None:
         """Return the cached artifact or None; a hit refreshes recency.
@@ -597,6 +626,7 @@ class BoardImageCache:
             else:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
+                self._m_hit_mem.inc()
                 return value
         if self.cache_dir is not None:
             value = self._disk_load(key)
@@ -607,9 +637,11 @@ class BoardImageCache:
                     self._insert(key, value)
                     self.stats.hits += 1
                     self.stats.disk_hits += 1
+                self._m_hit_disk.inc()
                 return value
         with self._lock:
             self.stats.misses += 1
+        self._m_miss.inc()
         return None
 
     def _insert(self, key: tuple, value: Any) -> None:
@@ -620,6 +652,7 @@ class BoardImageCache:
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            self._m_evict_mem.inc()
 
     def put(self, key: tuple, value: Any) -> None:
         """Insert (or refresh) an artifact, evicting the LRU entry if full.

@@ -13,6 +13,8 @@ Downstream-user entry points over the library's main flows:
   shard format (``repro.core.dataset``); ``search``/``serve`` accept
   ``.pds`` paths anywhere they accept ``.npy``, serving file-backed
   shards without loading the payload into RAM;
+* ``stats`` — fetch and pretty-print the metrics snapshot of a running
+  server's ``--metrics-port`` exporter (``repro stats host:port``);
 * ``workloads`` — list the registered workloads;
 * ``compile`` — PCRE -> ANML compilation (the AP programming model);
 * ``simulate`` — run an ANML file against an input file and print the
@@ -192,7 +194,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="SIGTERM drain bound: stop accepting, let in-flight "
                         "requests finish for up to this long, then close — "
                         "rolling restarts never drop an accepted request "
-                        "(pair with --cache-dir for a warm rejoin)")
+                        "(pair with --cache-dir for a warm rejoin); drain "
+                        "progress (remaining in-flight count) is logged "
+                        "while it runs")
+    v.add_argument("--metrics-port", type=int, default=None,
+                   help="expose the process metrics registry over HTTP on "
+                        "this port: /metrics (Prometheus text format) and "
+                        "/metrics.json (snapshot JSON, what `repro stats` "
+                        "reads); 0 picks an ephemeral port (printed at "
+                        "startup); omit to run without an exporter")
+
+    t = sub.add_parser("stats", help="fetch and pretty-print a running "
+                                     "server's metrics snapshot")
+    t.add_argument("address", metavar="HOST:PORT",
+                   help="a `repro serve --metrics-port` exporter address")
+    t.add_argument("--json", action="store_true",
+                   help="dump the raw snapshot JSON instead of the summary")
+    t.add_argument("--timeout-s", type=float, default=5.0)
 
     g = sub.add_parser("pack", help="pack a dataset into the mmap-able "
                                     ".pds shard format")
@@ -701,6 +719,14 @@ def _cmd_serve(args) -> int:
     print(f"# serving shard {shard_index}/{n_shards} "
           f"(n={server.n}, d={server.d}, offset={server.offset}) "
           f"on {host}:{port} [{serving}]", flush=True)
+    metrics_server = None
+    if args.metrics_port is not None:
+        from repro.perf.metrics import start_metrics_server
+
+        metrics_server = start_metrics_server(args.metrics_port)
+        print(f"# metrics on {host}:{metrics_server.port} "
+              f"(/metrics for Prometheus, /metrics.json for `repro stats`)",
+              flush=True)
 
     # SIGTERM (the rolling-restart signal) drains instead of dying
     # mid-request: the handler may only raise — calling
@@ -725,12 +751,62 @@ def _cmd_serve(args) -> int:
         print(f"# SIGTERM: draining in-flight requests "
               f"(bounded {args.drain_timeout_s:g}s)", file=sys.stderr,
               flush=True)
-        drained = server.drain(args.drain_timeout_s)
+
+        def _drain_progress(in_flight, sessions, remaining_s):
+            print(f"# draining: {in_flight} in-flight across {sessions} "
+                  f"session(s), {remaining_s:.1f}s left",
+                  file=sys.stderr, flush=True)
+
+        drained = server.drain(args.drain_timeout_s,
+                               progress=_drain_progress)
         print("# drain complete" if drained
               else "# drain timed out: cutting stragglers",
               file=sys.stderr, flush=True)
     finally:
+        if metrics_server is not None:
+            metrics_server.close()
         server.close()
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    import json as _json
+
+    from repro.perf.metrics import fetch_snapshot
+
+    try:
+        snap = fetch_snapshot(args.address, timeout_s=args.timeout_s)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot fetch metrics from {args.address}: {exc}",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(snap, indent=2, sort_keys=True))
+        return 0
+
+    def _suffix(labels):
+        if not labels:
+            return ""
+        inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        return "{" + inner + "}"
+
+    by_kind: dict[str, list[str]] = {}
+    for metric in snap.get("metrics", []):
+        for s in metric.get("series", []):
+            name = f"{metric['name']}{_suffix(s.get('labels'))}"
+            if metric["type"] == "histogram":
+                count, total = s["count"], s["sum"]
+                mean = total / count if count else 0.0
+                line = f"  {name} = {count:g} / {total:g} / {mean:g}"
+            else:
+                line = f"  {name} = {s['value']:g}"
+            by_kind.setdefault(metric["type"], []).append(line)
+    for kind, header in (("counter", "# counters"),
+                         ("gauge", "# gauges"),
+                         ("histogram", "# histograms (count / sum / mean)")):
+        if by_kind.get(kind):
+            print(header)
+            print("\n".join(by_kind[kind]))
     return 0
 
 
@@ -836,6 +912,7 @@ def main(argv: list[str] | None = None) -> int:
     handler = {
         "search": _cmd_search,
         "serve": _cmd_serve,
+        "stats": _cmd_stats,
         "pack": _cmd_pack,
         "workloads": _cmd_workloads,
         "compile": _cmd_compile,

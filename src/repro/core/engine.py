@@ -49,6 +49,7 @@ from ..ap.compiler import (
 from ..ap.device import APDeviceSpec, GEN1
 from ..ap.runtime import APRuntime, REPORT_RECORD_BITS, RuntimeCounters
 from ..host.parallel import ParallelConfig, PartitionTask, run_partitions
+from ..perf import metrics as _metrics
 from ..perf.models import APModel
 from .dataset import PackedDataset
 from .functional import FunctionalKnnBoard
@@ -451,35 +452,38 @@ class APSimilaritySearch:
         transport = "none"
         ipc_payload_bytes = None
         dispatch_overhead_s = None
-        if self.parallel.effective_workers > 1 and len(self.partitions) > 1:
-            run = run_partitions(
-                self._partition_tasks(mode),
-                queries_bits,
-                self.parallel,
-                cache=self.cache,
-            )
-            n_workers_used = run.n_workers
-            transport = run.transport
-            ipc_payload_bytes = run.ipc_payload_bytes
-            dispatch_overhead_s = run.dispatch_overhead_s
-            for res in run.results:  # sorted by partition index
-                counters.merge(res.counters)
-                block = self._decode_partition(res.q_idx, res.codes, res.cycles, n_q)
-                if block is not None:
-                    partials.append(block)
-        else:
-            for start, end in self.partitions:
-                if mode == "simulate":
-                    q_idx, codes, cycles = self._run_simulated(
-                        queries_bits, start, end, counters
+        with _metrics.stage("execute"):
+            if self.parallel.effective_workers > 1 and len(self.partitions) > 1:
+                run = run_partitions(
+                    self._partition_tasks(mode),
+                    queries_bits,
+                    self.parallel,
+                    cache=self.cache,
+                )
+                n_workers_used = run.n_workers
+                transport = run.transport
+                ipc_payload_bytes = run.ipc_payload_bytes
+                dispatch_overhead_s = run.dispatch_overhead_s
+                for res in run.results:  # sorted by partition index
+                    counters.merge(res.counters)
+                    block = self._decode_partition(
+                        res.q_idx, res.codes, res.cycles, n_q
                     )
-                else:
-                    q_idx, codes, cycles = self._run_functional(
-                        queries_bits, start, end, counters
-                    )
-                block = self._decode_partition(q_idx, codes, cycles, n_q)
-                if block is not None:
-                    partials.append(block)
+                    if block is not None:
+                        partials.append(block)
+            else:
+                for start, end in self.partitions:
+                    if mode == "simulate":
+                        q_idx, codes, cycles = self._run_simulated(
+                            queries_bits, start, end, counters
+                        )
+                    else:
+                        q_idx, codes, cycles = self._run_functional(
+                            queries_bits, start, end, counters
+                        )
+                    block = self._decode_partition(q_idx, codes, cycles, n_q)
+                    if block is not None:
+                        partials.append(block)
 
         # The batched merge may legally find fewer than k candidates
         # for a query (e.g. a back-end produced fewer reports than
@@ -491,10 +495,11 @@ class APSimilaritySearch:
         from .workload import get_workload
 
         workload = get_workload("knn")
-        if partials:
-            merged = workload.merge(partials, None, {"k": self.k})
-        else:
-            merged = workload.empty(n_q, {"k": self.k})
+        with _metrics.stage("merge"):
+            if partials:
+                merged = workload.merge(partials, None, {"k": self.k})
+            else:
+                merged = workload.empty(n_q, {"k": self.k})
         indices, distances = merged.indices, merged.distances
         return KnnResult(
             indices=indices,

@@ -48,6 +48,8 @@ from typing import Any
 
 import numpy as np
 
+from ..perf import metrics as _metrics
+
 __all__ = ["BatchRouter", "QueryBatcher", "BatchedResult", "BatchRouterStats"]
 
 
@@ -106,6 +108,7 @@ class BatchedResult:
 @dataclass
 class _Request:
     queries: np.ndarray
+    admitted_at: float = 0.0  # perf_counter stamp at admission
     done: threading.Event = field(default_factory=threading.Event)
     result: BatchedResult | None = None
     error: BaseException | None = None
@@ -153,6 +156,28 @@ class BatchRouter:
         self._queue: queue.Queue = queue.Queue(maxsize=int(max_pending))
         self._closed = threading.Event()
         self._stats_lock = threading.Lock()
+        # Registry children captured once; mutators are no-ops when the
+        # process registry is disabled (zero-hot-path contract).
+        reg = _metrics.get_registry()
+        self._m_calls = reg.counter(
+            "repro_router_requests_total",
+            "Caller search() requests admitted by the batch router.",
+        )
+        self._m_batches = reg.counter(
+            "repro_router_batches_total",
+            "Merged engine passes the router actually issued.",
+        )
+        self._m_rows = reg.counter(
+            "repro_router_rows_total", "Query rows routed through admission."
+        )
+        self._m_depth = reg.gauge(
+            "repro_router_queue_depth",
+            "Requests waiting in the admission queue.",
+        )
+        self._m_wait = reg.histogram(
+            "repro_router_wait_seconds",
+            "Admission-to-dispatch wait per caller request.",
+        )
         self._collector = threading.Thread(
             target=self._collect_loop, name="repro-batch-router", daemon=True
         )
@@ -185,7 +210,7 @@ class BatchRouter:
                 )
             if not np.isin(queries_bits, (0, 1)).all():
                 raise ValueError("queries must be binary (0/1)")
-        req = _Request(queries=queries_bits)
+        req = _Request(queries=queries_bits, admitted_at=time.perf_counter())
         # Blocks when max_pending is reached (backpressure) — but in
         # bounded slices, so a caller racing close() against a full
         # queue with no collector left to drain it fails instead of
@@ -199,6 +224,7 @@ class BatchRouter:
                     raise RuntimeError(
                         "BatchRouter closed during admission"
                     ) from None
+        self._m_depth.set(self._queue.qsize())
         # Liveness-aware wait: if close() raced this admission and the
         # collector is already gone, fail instead of hanging forever.
         while not req.done.wait(timeout=0.5):
@@ -245,17 +271,31 @@ class BatchRouter:
 
     def _dispatch(self, batch: list[_Request], rows: int) -> None:
         try:
+            self._m_depth.set(self._queue.qsize())
+            if _metrics.get_registry().enabled:
+                now = time.perf_counter()
+                stage_hist = _metrics.stage_histogram().labels(stage="admission")
+                for req in batch:
+                    wait = now - req.admitted_at
+                    self._m_wait.observe(wait)
+                    stage_hist.observe(wait)
             merged = (
                 batch[0].queries
                 if len(batch) == 1
                 else np.concatenate([r.queries for r in batch], axis=0)
             )
             result = self.searcher.search(merged)
+            # One site feeds both accountings: the registry counters and
+            # the ad-hoc BatchRouterStats move together, so the snapshot
+            # and `router.stats` can never disagree.
             with self._stats_lock:
                 self.stats.calls += len(batch)
                 self.stats.batches += 1
                 self.stats.rows += rows
                 self.stats.max_batch_rows = max(self.stats.max_batch_rows, rows)
+            self._m_calls.inc(len(batch))
+            self._m_batches.inc()
+            self._m_rows.inc(rows)
             # Searchers with workload-typed results (WorkloadSearch,
             # RemoteWorkloadSearch) expose split_result: slicing every
             # workload field is their job, not this router's.

@@ -108,6 +108,7 @@ import numpy as np
 from ..ap.compiler import export_artifact_shm, import_artifact_shm
 from ..ap.device import APDeviceSpec, GEN1
 from ..ap.runtime import RuntimeCounters
+from ..perf import metrics as _metrics
 from .ring import PinnedWorkerPool, RingBrokenError
 from .shm import ShmArrayRef, ShmExporter, resolve_array, shm_available
 
@@ -611,6 +612,45 @@ def _export_task(task: PartitionTask, exporter: ShmExporter) -> PartitionTask:
     return replace(task, **updates) if updates else task
 
 
+def _record_dispatch(
+    latencies: list[float], queue_depth: int, payload_bytes: int | None
+) -> float | None:
+    """One source of truth for dispatch accounting.
+
+    The same latency values feed ``repro_dispatch_latency_seconds``
+    (and the trace ``dispatch`` stage) and the returned mean that
+    becomes ``PartitionRunReport.dispatch_overhead_s`` — the registry
+    and the result field can never disagree.
+    """
+    reg = _metrics.get_registry()
+    if reg.enabled:
+        # Register unconditionally (cheap idempotent lookups) so the
+        # catalog is identical whatever shape this run took; mutate
+        # only what the run actually measured.
+        hist = reg.histogram(
+            "repro_dispatch_latency_seconds",
+            "Per-task submit->start latency across parallel backends.",
+        )
+        payload = reg.counter(
+            "repro_ipc_payload_bytes_total",
+            "Parent->worker submission bytes (measure_ipc runs only).",
+        )
+        if latencies:
+            hist.observe_many(latencies)
+            _metrics.stage_histogram(reg).labels(stage="dispatch").observe_many(
+                latencies
+            )
+        reg.gauge(
+            "repro_dispatch_queue_depth",
+            "Peak submitted-not-finished count of the last parallel run.",
+        ).set(queue_depth)
+        if payload_bytes:
+            payload.inc(payload_bytes)
+    if not latencies:
+        return None
+    return sum(latencies) / len(latencies)
+
+
 def _chunk_bounds(n_items: int, n_chunks: int) -> list[int]:
     """Balanced contiguous chunk boundaries (first chunks get the
     remainder), as ``n_chunks + 1`` fenceposts."""
@@ -799,10 +839,8 @@ def run_partitions(
             for res, t_sub in zip(results, submit_times)
             if res.t_start is not None
         ]
-    dispatch_overhead = (
-        sum(dispatch_latencies) / len(dispatch_latencies)
-        if dispatch_latencies
-        else None
+    dispatch_overhead = _record_dispatch(
+        dispatch_latencies, queue_depth, payload_bytes
     )
     return PartitionRunReport(
         results=sorted(results, key=lambda r: r.p_idx),

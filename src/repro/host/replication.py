@@ -54,6 +54,8 @@ from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass
 
+from ..perf import metrics as _metrics
+
 __all__ = [
     "HealthPolicy",
     "HedgePolicy",
@@ -67,6 +69,17 @@ __all__ = [
 STATE_CLOSED = "closed"
 STATE_OPEN = "open"
 STATE_HALF_OPEN = "half-open"
+
+
+def _breaker_transitions():
+    """Transitions counter, labeled by the state entered.  ``half-open``
+    is derived from the clock (no stored event), so only ``open`` and
+    ``closed`` entries are countable transitions."""
+    return _metrics.get_registry().counter(
+        "repro_replica_breaker_transitions_total",
+        "Circuit-breaker state entries across all replica groups.",
+        labelnames=("to",),
+    )
 
 
 @dataclass(frozen=True)
@@ -142,6 +155,7 @@ class ReplicaHealth:
         with self._lock:
             self.successes += 1
             self.consecutive_failures = 0
+            reclosed = self._opened_at is not None
             self._opened_at = None  # a success (incl. a probe) re-closes
             alpha = self.policy.ewma_alpha
             if self.ewma_latency_s is None:
@@ -151,6 +165,8 @@ class ReplicaHealth:
                     (1.0 - alpha) * self.ewma_latency_s + alpha * latency_s
                 )
             self.latencies.append(float(latency_s))
+        if reclosed:
+            _breaker_transitions().labels(to=STATE_CLOSED).inc()
 
     def record_failure(self) -> None:
         with self._lock:
@@ -158,11 +174,15 @@ class ReplicaHealth:
             self.consecutive_failures += 1
             # A failed half-open probe re-opens with a FRESH cooldown;
             # below the threshold a closed breaker stays closed.
+            opened = False
             if (
                 self._state_locked() != STATE_CLOSED
                 or self.consecutive_failures >= self.policy.failure_threshold
             ):
                 self._opened_at = self._clock()
+                opened = True
+        if opened:
+            _breaker_transitions().labels(to=STATE_OPEN).inc()
 
     def snapshot(self) -> dict:
         with self._lock:
@@ -230,6 +250,24 @@ class ReplicaGroup:
         self.failovers = 0
         self.hedges = 0
         self.hedge_wins = 0
+        # Registry twins of the three counters above: each increment
+        # site bumps both, so snapshot and attribute always agree.
+        reg = _metrics.get_registry()
+        self._m_failovers = reg.counter(
+            "repro_replica_failovers_total",
+            "Failed attempts that launched the next replica candidate.",
+        )
+        self._m_hedges = reg.counter(
+            "repro_replica_hedges_total",
+            "Speculative duplicate requests launched by the hedge timer.",
+        )
+        self._m_hedge_wins = reg.counter(
+            "repro_replica_hedge_wins_total",
+            "Hedged duplicates that answered before the primary.",
+        )
+        # Registered (not incremented) here so the family appears in
+        # the catalog before any breaker ever trips.
+        _breaker_transitions()
 
     # -- surface parity with RemoteShard -----------------------------------
 
@@ -347,6 +385,7 @@ class ReplicaGroup:
                 if pos + 1 < len(order):
                     with self._lock:
                         self.failovers += 1
+                    self._m_failovers.inc()
         raise RemoteShardError(
             f"replica group {self.address}: all {len(order)} replica(s) "
             f"failed: {'; '.join(errors)}"
@@ -394,6 +433,7 @@ class ReplicaGroup:
                 hedge_at = None
                 with self._lock:
                     self.hedges += 1
+                self._m_hedges.inc()
                 hedged_replica = launch()
                 continue
             for future in done:
@@ -409,12 +449,14 @@ class ReplicaGroup:
                     if nxt < len(order):
                         with self._lock:
                             self.failovers += 1
+                        self._m_failovers.inc()
                         launch()
                     continue
                 self.health[i].record_success(latency)
                 if i == hedged_replica:
                     with self._lock:
                         self.hedge_wins += 1
+                    self._m_hedge_wins.inc()
                 for loser in inflight.values():
                     aborted.add(loser)
                     self.replicas[loser].abort()

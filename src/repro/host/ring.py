@@ -73,6 +73,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any
 
+from ..perf import metrics as _metrics
 from .shm import (
     SHM_UNAVAILABLE_REASON,
     _attach_untracked,
@@ -514,6 +515,19 @@ class PinnedWorkerPool:
         ]
         self._live_spills: dict[str, Any] = {}
         self._respawns = 0
+        # Register the ring's metric families eagerly so the process
+        # catalog (and the CI metrics-contract baseline) is complete
+        # the moment a pool exists — a respawn or run only mutates.
+        reg = _metrics.get_registry()
+        self._m_respawns = reg.counter(
+            "repro_ring_respawns_total",
+            "Pinned workers respawned after dying.",
+        )
+        self._m_occupancy = reg.histogram(
+            "repro_ring_occupancy",
+            "Peak in-flight descriptor-slot occupancy per ring run.",
+            buckets=tuple(float(2 ** i) for i in range(9)),
+        )
         self._closed = False
         self._broken = False
         self._run_lock = threading.Lock()
@@ -674,7 +688,10 @@ class PinnedWorkerPool:
             except Exception:
                 pass
         self._spawn_worker(w)
+        # One increment site feeds both the `respawns` property and the
+        # registry counter — they cannot drift apart.
         self._respawns += 1
+        self._m_respawns.inc()
 
     def _recover_worker(self, w: int, pending: deque,
                         crash_counts: dict) -> int:
@@ -786,6 +803,7 @@ class PinnedWorkerPool:
                     )
             if error is not None:
                 raise error
+            self._m_occupancy.observe(max_depth)
             return RingRunReport(
                 results=results,
                 dispatch_latencies_s=latencies,

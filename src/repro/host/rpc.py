@@ -97,6 +97,8 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from ..perf import metrics as _metrics
+
 __all__ = [
     "PROTOCOL_VERSION",
     "MAX_PAYLOAD_BYTES",
@@ -418,6 +420,14 @@ class _ShardRequestHandler(socketserver.BaseRequestHandler):
         msg_type: int, payload: bytes,
     ) -> bool:
         """Serve one request; False ends the session (drop connection)."""
+        server._m_requests.labels(
+            type={
+                MSG_PING: "ping",
+                MSG_INFO_REQ: "info",
+                MSG_SEARCH_REQ: "search",
+                MSG_WL_SEARCH_REQ: "workload_search",
+            }.get(msg_type, "unknown")
+        ).inc()
         try:
             if msg_type == MSG_PING:
                 return self._reply(sock, server, MSG_PONG, b"")
@@ -575,6 +585,20 @@ class ShardServer:
         self._draining = False
         self._conn_lock = threading.Lock()
         self._connections: dict[socket.socket, bool] = {}
+        reg = _metrics.get_registry()
+        self._m_inflight = reg.gauge(
+            "repro_server_inflight_requests",
+            "Connections currently inside a request on this server.",
+        )
+        self._m_requests = reg.counter(
+            "repro_server_requests_total",
+            "Requests served, by wire message type.",
+            labelnames=("type",),
+        )
+        self._m_drain_remaining = reg.gauge(
+            "repro_server_drain_remaining",
+            "In-flight requests still finishing during a drain.",
+        )
 
     # -- engine management -------------------------------------------------
 
@@ -726,6 +750,8 @@ class ShardServer:
         with self._conn_lock:
             if sock in self._connections:
                 self._connections[sock] = busy
+            active = sum(1 for b in self._connections.values() if b)
+        self._m_inflight.set(active)
 
     def _untrack_connection(self, sock: socket.socket) -> None:
         with self._conn_lock:
@@ -737,7 +763,12 @@ class ShardServer:
         with self._conn_lock:
             return sum(1 for busy in self._connections.values() if busy)
 
-    def drain(self, timeout_s: float = 5.0) -> bool:
+    def drain(
+        self,
+        timeout_s: float = 5.0,
+        progress=None,
+        progress_interval_s: float = 0.5,
+    ) -> bool:
         """Graceful shutdown, phase 1: stop accepting, finish in-flight.
 
         Stops the accept loop and closes the listening socket (new
@@ -750,19 +781,36 @@ class ShardServer:
         pools — the SIGTERM path in ``repro serve`` does exactly
         ``drain(); close()``, so a rolling restart never drops an
         accepted request while staying bounded by ``timeout_s``.
+
+        Drain progress is observable two ways (a drain that stalls on a
+        slow request used to be indistinguishable from a hang):
+        ``progress(in_flight, sessions, remaining_s)`` is called every
+        ``progress_interval_s`` while sessions remain (the CLI logs it),
+        and the ``repro_server_drain_remaining`` gauge tracks the
+        in-flight count for scrapes.
         """
         self._draining = True
         if self._serving.is_set():
             self._server.shutdown()
         self._server.server_close()
         deadline = time.monotonic() + max(0.0, float(timeout_s))
+        next_report = time.monotonic()
         drained = False
         while True:
             with self._conn_lock:
                 conns = dict(self._connections)
+            in_flight = sum(1 for busy in conns.values() if busy)
+            self._m_drain_remaining.set(in_flight)
             if not conns:
                 drained = True
                 break
+            now = time.monotonic()
+            if progress is not None and now >= next_report:
+                try:
+                    progress(in_flight, len(conns), max(0.0, deadline - now))
+                except Exception:
+                    pass  # a broken reporter must not break the drain
+                next_report = now + max(0.0, float(progress_interval_s))
             for sock, busy in conns.items():
                 if not busy:
                     # Parked in read_frame between requests: shutting
@@ -772,17 +820,23 @@ class ShardServer:
                         sock.shutdown(socket.SHUT_RDWR)
                     except OSError:
                         pass
-            if time.monotonic() >= deadline:
+            if now >= deadline:
                 break
             time.sleep(0.01)
         if not drained:
             with self._conn_lock:
                 stragglers = list(self._connections)
+            if progress is not None:
+                try:
+                    progress(len(stragglers), len(stragglers), 0.0)
+                except Exception:
+                    pass
             for sock in stragglers:
                 try:
                     sock.shutdown(socket.SHUT_RDWR)
                 except OSError:
                     pass
+        self._m_drain_remaining.set(0)
         return drained
 
     def close(self) -> None:
@@ -885,6 +939,22 @@ class RemoteShard:
         self._sock: socket.socket | None = None
         self._aborted = False
         self._lock = threading.Lock()
+        reg = _metrics.get_registry()
+        self._m_roundtrip = reg.histogram(
+            "repro_rpc_roundtrip_seconds",
+            "Client-observed request/response round-trip latency.",
+        )
+        self._m_sent = reg.counter(
+            "repro_rpc_bytes_sent_total", "Request frame bytes sent."
+        )
+        self._m_received = reg.counter(
+            "repro_rpc_bytes_received_total", "Response frame bytes received."
+        )
+        self._m_retries = reg.counter(
+            "repro_rpc_retries_total",
+            "Failed round-trip attempts by failure kind.",
+            labelnames=("kind",),
+        )
 
     # Indirection so tests can observe/skip the backoff sleeps.
     _sleep = staticmethod(time.sleep)
@@ -963,19 +1033,25 @@ class RemoteShard:
                     sock = self._connected()
                 except OSError as exc:
                     connect_failures += 1
+                    self._m_retries.labels(kind="connect").inc()
                     last_error = exc
                     self._drop_connection()
                     continue
+                t0 = time.perf_counter()
                 try:
                     sock.sendall(frame)
                     resp_type, resp = read_frame(sock)
                 except (OSError, ConnectionError, RpcProtocolError) as exc:
                     request_failures += 1
+                    self._m_retries.labels(kind="request").inc()
                     last_error = exc
                     self._drop_connection()
                     continue
+                self._m_roundtrip.observe(time.perf_counter() - t0)
                 self.bytes_sent += len(frame)
                 self.bytes_received += _HEADER.size + len(resp)
+                self._m_sent.inc(len(frame))
+                self._m_received.inc(_HEADER.size + len(resp))
                 if resp_type == MSG_ERROR:
                     # Server-side failure: the stream itself is intact.
                     raise RemoteShardError(

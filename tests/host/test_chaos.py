@@ -441,6 +441,72 @@ class TestDrain:
         finally:
             server.close()
 
+    def test_drain_reports_progress_and_gauge(self):
+        """The drain-progress fix: a stalled drain is observable via the
+        progress callback and the drain-remaining gauge instead of
+        looking like a hang."""
+        from repro.perf.metrics import get_registry
+
+        data, queries = _workload()
+        hook = ServerFaultHook(
+            FaultSpec("delay", delay_s=0.6), match=(MSG_SEARCH,)
+        )
+        server = ShardServer(
+            data, execution="functional", fault_hook=hook
+        ).start()
+        address = _addr(server)
+        reports, gauge_peaks = [], []
+
+        def on_progress(in_flight, sessions, remaining_s):
+            reports.append((in_flight, sessions, remaining_s))
+            gauge_peaks.append(
+                get_registry().snapshot().value(
+                    "repro_server_drain_remaining"
+                )
+            )
+
+        def slow_caller():
+            try:
+                with RemoteShard(address, retries=0, timeout_s=5.0) as shard:
+                    shard.search(queries, k=3)
+            except RemoteShardError:
+                pass
+
+        t = threading.Thread(target=slow_caller, daemon=True)
+        try:
+            t.start()
+            deadline = time.monotonic() + 5.0
+            while server.active_requests == 0:
+                assert time.monotonic() < deadline, "request never arrived"
+                time.sleep(0.005)
+            drained = server.drain(
+                timeout_s=5.0, progress=on_progress,
+                progress_interval_s=0.05,
+            )
+            t.join(timeout=5.0)
+            assert drained is True
+            # progress fired while the request was in flight...
+            assert any(in_flight >= 1 for in_flight, _, _ in reports)
+            assert all(remaining >= 0.0 for _, _, remaining in reports)
+            # ...the gauge tracked it, and both report drained at the end
+            assert any(peak >= 1.0 for peak in gauge_peaks)
+            assert get_registry().snapshot().value(
+                "repro_server_drain_remaining"
+            ) == 0.0
+        finally:
+            server.close()
+
+    def test_drain_progress_exceptions_do_not_break_drain(self):
+        data, _ = _workload()
+        server = ShardServer(data, execution="functional").start()
+        try:
+            def broken(*_):
+                raise RuntimeError("reporter bug")
+
+            assert server.drain(timeout_s=1.0, progress=broken) is True
+        finally:
+            server.close()
+
 
 # -- repro serve: SIGTERM drains -------------------------------------------
 

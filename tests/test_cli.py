@@ -196,3 +196,37 @@ class TestServeAndRemote:
         d, *_ = dataset_files
         assert main(["serve", d, "--shard", "3/2"]) == 2
         assert "--shard" in capsys.readouterr().err
+
+
+class TestStats:
+    def test_stats_pretty_and_json(self, capsys):
+        from repro.perf.metrics import MetricsRegistry, start_metrics_server
+
+        reg = MetricsRegistry()
+        reg.counter("t_requests_total", "help", labelnames=("type",)).labels(
+            type="search"
+        ).inc(3)
+        reg.gauge("t_depth", "help").set(2)
+        reg.histogram("t_wait_seconds", "help", buckets=(0.1,)).observe(0.05)
+        server = start_metrics_server(0, registry=reg, host="127.0.0.1")
+        try:
+            addr = f"127.0.0.1:{server.port}"
+            assert main(["stats", addr]) == 0
+            out = capsys.readouterr().out
+            assert "t_requests_total{type=search} = 3" in out
+            assert "t_depth = 2" in out
+            assert "t_wait_seconds = 1 / 0.05 / 0.05" in out
+
+            assert main(["stats", addr, "--json"]) == 0
+            import json
+
+            doc = json.loads(capsys.readouterr().out)
+            assert [m["name"] for m in doc["metrics"]] == [
+                "t_depth", "t_requests_total", "t_wait_seconds"
+            ]
+        finally:
+            server.close()
+
+    def test_stats_unreachable_is_an_error(self, capsys):
+        assert main(["stats", "127.0.0.1:1", "--timeout-s", "0.5"]) == 1
+        assert "cannot fetch metrics" in capsys.readouterr().err
